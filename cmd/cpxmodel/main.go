@@ -1,0 +1,106 @@
+// Command cpxmodel exercises the empirical performance model standalone:
+// it fits parallel-efficiency curves to benchmark samples and runs the
+// Algorithm 1 rank allocation over a set of components.
+//
+// Usage:
+//
+//	cpxmodel -components comps.json -budget 40000
+//	cpxmodel -demo
+//
+// Component schema (JSON array):
+//
+//	[
+//	  {"name": "row1 (24M)", "isCU": false, "minRanks": 100,
+//	   "sizeRatio": 3, "iterRatio": 10,
+//	   "samples": [{"cores": 128, "runtime": 100.0},
+//	               {"cores": 1024, "runtime": 15.5}]}
+//	]
+//
+// Each component's curve is fitted from its samples; sizeRatio/iterRatio
+// scale the base case to the target problem as in the paper.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"cpx/internal/perfmodel"
+)
+
+type jsonComponent struct {
+	Name      string             `json:"name"`
+	IsCU      bool               `json:"isCU"`
+	MinRanks  int                `json:"minRanks"`
+	SizeRatio float64            `json:"sizeRatio"`
+	IterRatio float64            `json:"iterRatio"`
+	Samples   []perfmodel.Sample `json:"samples"`
+}
+
+func demoComponents() []jsonComponent {
+	mk := func(name string, base float64, p50 float64, isCU bool) jsonComponent {
+		truth := perfmodel.Curve{BaseCores: 100, BaseTime: base, P50: p50, K: 1.3}
+		var samples []perfmodel.Sample
+		for _, p := range []int{100, 200, 400, 800, 1600, 3200} {
+			samples = append(samples, perfmodel.Sample{Cores: p, Runtime: truth.Runtime(float64(p))})
+		}
+		return jsonComponent{Name: name, IsCU: isCU, MinRanks: 100, Samples: samples}
+	}
+	return []jsonComponent{
+		mk("compressor row (24M)", 30, 5000, false),
+		mk("combustor (380M equiv)", 400, 2500, false),
+		mk("turbine row (150M)", 90, 8000, false),
+		mk("coupling unit", 0.5, 200, true),
+	}
+}
+
+func main() {
+	path := flag.String("components", "", "JSON component descriptions")
+	budget := flag.Int("budget", 40000, "total core budget")
+	demo := flag.Bool("demo", false, "run a built-in demo allocation")
+	flag.Parse()
+
+	var comps []jsonComponent
+	switch {
+	case *demo:
+		comps = demoComponents()
+	case *path != "":
+		raw, err := os.ReadFile(*path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpxmodel: %v\n", err)
+			os.Exit(1)
+		}
+		if err := json.Unmarshal(raw, &comps); err != nil {
+			fmt.Fprintf(os.Stderr, "cpxmodel: parsing %s: %v\n", *path, err)
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "cpxmodel: need -components FILE or -demo")
+		os.Exit(2)
+	}
+
+	var model []perfmodel.Component
+	for _, jc := range comps {
+		curve, err := perfmodel.FitCurve(jc.Samples)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpxmodel: fitting %q: %v\n", jc.Name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("fitted %-28s base %6.1fs @ %5d cores, PE knee p50=%.0f k=%.2f\n",
+			jc.Name, curve.BaseTime, curve.BaseCores, curve.P50, curve.K)
+		model = append(model, perfmodel.Component{
+			Name: jc.Name, Curve: curve, IsCU: jc.IsCU,
+			MinRanks: jc.MinRanks, SizeRatio: jc.SizeRatio, IterRatio: jc.IterRatio,
+		})
+	}
+	alloc, err := perfmodel.Allocate(model, *budget)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cpxmodel: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\nAlgorithm 1 allocation for a %d-core budget:\n\n%s", *budget, alloc.String())
+	if alloc.Unallocated > 0 {
+		fmt.Printf("idle cores (no component gains from more ranks): %d\n", alloc.Unallocated)
+	}
+}

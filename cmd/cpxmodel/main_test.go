@@ -1,0 +1,39 @@
+package main
+
+import (
+	"testing"
+
+	"cpx/internal/perfmodel"
+)
+
+func TestDemoComponentsFitAndAllocate(t *testing.T) {
+	comps := demoComponents()
+	if len(comps) != 4 {
+		t.Fatalf("demo components = %d", len(comps))
+	}
+	var model []perfmodel.Component
+	for _, jc := range comps {
+		curve, err := perfmodel.FitCurve(jc.Samples)
+		if err != nil {
+			t.Fatalf("fitting %q: %v", jc.Name, err)
+		}
+		model = append(model, perfmodel.Component{
+			Name: jc.Name, Curve: curve, IsCU: jc.IsCU, MinRanks: jc.MinRanks,
+		})
+	}
+	alloc, err := perfmodel.Allocate(model, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The combustor (worst absolute time) must receive the most ranks
+	// among the instances.
+	maxIdx := 0
+	for i := 0; i < 3; i++ {
+		if alloc.Cores[i] > alloc.Cores[maxIdx] {
+			maxIdx = i
+		}
+	}
+	if model[maxIdx].Name != "combustor (380M equiv)" {
+		t.Errorf("largest allocation went to %q", model[maxIdx].Name)
+	}
+}

@@ -1,0 +1,53 @@
+// Command cpxprof profiles the pressure-solver proxy per function on the
+// virtual machine — the ARM-MAP-style breakdown of Fig. 5 — and emits the
+// result as a table or CSV for plotting.
+//
+// Usage:
+//
+//	cpxprof -mesh 28000000 -cores 2048
+//	cpxprof -mesh 28000000 -cores 512 -optimized -csv > profile.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cpx/internal/cluster"
+	"cpx/internal/mpi"
+	"cpx/internal/pressure"
+)
+
+func main() {
+	mesh := flag.Int64("mesh", 28_000_000, "pressure-solver mesh cells")
+	cores := flag.Int("cores", 2048, "virtual core count")
+	steps := flag.Int("steps", 10, "time-steps")
+	optimized := flag.Bool("optimized", false, "profile the Optimized variant")
+	csv := flag.Bool("csv", false, "emit CSV instead of a table")
+	flag.Parse()
+
+	cfg := pressure.Config{MeshCells: *mesh, Steps: *steps, Seed: 1}
+	if *optimized {
+		cfg.Variant = pressure.Optimized
+	}
+	stats, err := mpi.Run(*cores, mpi.Config{Machine: cluster.ARCHER2(), Profile: true},
+		func(c *mpi.Comm) error {
+			_, err := pressure.Run(c, cfg, pressure.Production())
+			return err
+		})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cpxprof: %v\n", err)
+		os.Exit(1)
+	}
+	prof := stats.MergedProfile()
+	fmt.Fprintf(os.Stderr, "pressure solver (%dM cells, %s) on %d virtual cores, %d steps: %.3f s simulated\n",
+		*mesh/1_000_000, cfg.Variant, *cores, *steps, stats.Elapsed)
+	if *csv {
+		if err := prof.WriteCSV(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "cpxprof: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Print(prof.String())
+}

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"encoding/json"
+	"testing"
+
+	"cpx/internal/coupler"
+)
+
+func TestJSONConfigBuild(t *testing.T) {
+	raw := `{
+	  "densitySteps": 5,
+	  "rotationPerStep": 0.01,
+	  "instances": [
+	    {"name": "row", "kind": "mgcfd", "meshCells": 1000, "ranks": 2},
+	    {"name": "comb", "kind": "simpic", "meshCells": 2000, "ranks": 3}
+	  ],
+	  "units": [
+	    {"name": "cu", "a": 0, "b": 1, "kind": "steady", "points": 50,
+	     "ranks": 1, "search": "tree", "exchangeEvery": 2}
+	  ]
+	}`
+	var jc jsonConfig
+	if err := json.Unmarshal([]byte(raw), &jc); err != nil {
+		t.Fatal(err)
+	}
+	sim, err := jc.build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.TotalRanks() != 6 {
+		t.Errorf("total ranks = %d, want 6", sim.TotalRanks())
+	}
+	if sim.Instances[1].Kind != coupler.KindSIMPIC {
+		t.Error("simpic kind not parsed")
+	}
+	if sim.Units[0].Kind != coupler.SteadyState || sim.Units[0].Search != coupler.Tree {
+		t.Errorf("unit parsed wrong: %+v", sim.Units[0])
+	}
+	if sim.Units[0].B != 1 {
+		t.Errorf("unit B = %d, want 1", sim.Units[0].B)
+	}
+	if err := sim.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJSONConfigRejectsUnknownKinds(t *testing.T) {
+	jc := jsonConfig{
+		DensitySteps: 1,
+		Instances:    []jsonInstance{{Name: "x", Kind: "fortran", MeshCells: 10, Ranks: 1}},
+	}
+	if _, err := jc.build(); err == nil {
+		t.Error("unknown instance kind accepted")
+	}
+	jc2 := jsonConfig{
+		DensitySteps: 1,
+		Instances: []jsonInstance{
+			{Name: "a", Kind: "mgcfd", MeshCells: 10, Ranks: 1},
+			{Name: "b", Kind: "mgcfd", MeshCells: 10, Ranks: 1},
+		},
+		Units: []jsonUnit{{Name: "u", A: 0, BIdx: 1, Kind: "sliding", Points: 5, Ranks: 1, Search: "quantum"}},
+	}
+	if _, err := jc2.build(); err == nil {
+		t.Error("unknown search accepted")
+	}
+}
+
+func TestDemoConfigValid(t *testing.T) {
+	sim, err := demoConfig().build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

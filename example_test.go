@@ -1,0 +1,48 @@
+package cpx_test
+
+import (
+	"fmt"
+
+	"cpx"
+)
+
+// Fitting a parallel-efficiency curve to standalone benchmark samples and
+// reading off the modelled run-time — the first half of the paper's
+// resource-allocation workflow.
+func ExampleFitCurve() {
+	curve, err := cpx.FitCurve([]cpx.Sample{
+		{Cores: 128, Runtime: 100},
+		{Cores: 256, Runtime: 52},
+		{Cores: 512, Runtime: 28},
+		{Cores: 1024, Runtime: 16},
+		{Cores: 2048, Runtime: 11},
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("PE at 1024 cores: %.0f%%\n", 100*curve.PE(1024))
+	fmt.Printf("speedup at 2048 cores: %.1fx\n", curve.Speedup(2048))
+	// Output:
+	// PE at 1024 cores: 77%
+	// speedup at 2048 cores: 9.2x
+}
+
+// Distributing a core budget across coupled components with the greedy
+// Algorithm 1: the slowest instance or coupling unit receives one core at
+// a time, whichever gains more.
+func ExampleAllocate() {
+	flat := &cpx.Curve{BaseCores: 1, BaseTime: 1, P50: 1e6, K: 1}
+	heavy := &cpx.Curve{BaseCores: 1, BaseTime: 9, P50: 1e6, K: 1}
+	alloc, err := cpx.Allocate([]cpx.Component{
+		{Name: "compressor row", Curve: flat},
+		{Name: "combustor", Curve: heavy},
+		{Name: "coupling unit", Curve: flat, IsCU: true},
+	}, 1000)
+	if err != nil {
+		panic(err)
+	}
+	// The combustor is 9x heavier, so it receives ~9x the ranks.
+	fmt.Println(alloc.Cores[1] > 8*alloc.Cores[0])
+	// Output:
+	// true
+}

@@ -1,0 +1,56 @@
+// Compressor: couple three MG-CFD rotor/stator rows with sliding-plane
+// coupling units and compare the CPX donor-search strategies — the
+// brute-force vs tree vs tree+prefetch progression that took the
+// production coupler's overhead below 0.5% of run-time [31].
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cpx"
+)
+
+func main() {
+	fmt.Println("three coupled MG-CFD rows, sliding-plane interfaces remapped every step")
+	fmt.Printf("\n%-20s %14s %14s %16s\n", "search", "runtime(s)", "CU busy(s)", "coupling share")
+
+	for _, tc := range []struct {
+		name   string
+		search cpx.SearchKind
+	}{
+		{"brute-force", cpx.BruteForceSearch},
+		{"kd-tree", cpx.TreeSearch},
+		{"kd-tree + prefetch", cpx.PrefetchSearch},
+	} {
+		sim := &cpx.Simulation{
+			Instances: []cpx.Instance{
+				{Name: "rotor-1", Kind: cpx.MGCFD, MeshCells: 50_000, Ranks: 6, Seed: 1},
+				{Name: "stator-1", Kind: cpx.MGCFD, MeshCells: 50_000, Ranks: 6, Seed: 2},
+				{Name: "rotor-2", Kind: cpx.MGCFD, MeshCells: 50_000, Ranks: 6, Seed: 3},
+			},
+			Units: []cpx.CouplingUnit{
+				// Interface points reflect a production-sized sliding plane
+				// even though the row meshes are example-sized: the search
+				// cost is charged at the true interface size.
+				{Name: "cu-12", A: 0, B: 1, Kind: cpx.SlidingPlane, Points: 200_000, Ranks: 2, Search: tc.search},
+				{Name: "cu-23", A: 1, B: 2, Kind: cpx.SlidingPlane, Points: 200_000, Ranks: 2, Search: tc.search},
+			},
+			DensitySteps:    6,
+			RotationPerStep: 0.003,
+			Scale:           cpx.ProductionScale(),
+		}
+		rep, err := sim.Run(cpx.RunConfig{Machine: cpx.ARCHER2()})
+		if err != nil {
+			log.Fatalf("%s: %v", tc.name, err)
+		}
+		busy := rep.UnitComp[0]
+		if rep.UnitComp[1] > busy {
+			busy = rep.UnitComp[1]
+		}
+		fmt.Printf("%-20s %14.4f %14.4f %15.2f%%\n", tc.name, rep.Elapsed, busy, 100*rep.CouplingShare)
+	}
+	fmt.Println("\nThe tree search removes the O(targets x donors) remap cost of the")
+	fmt.Println("moving interface; prefetching donor candidates from the previous")
+	fmt.Println("step removes most remaining tree traversals.")
+}

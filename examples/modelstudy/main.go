@@ -1,0 +1,60 @@
+// Modelstudy: the design-space exploration the paper builds the whole
+// apparatus for — "rapid design space and run-time setup exploration
+// studies... to obtain the best performance from full-scale
+// Combustion-CFD coupled simulations". Sweeps the core budget and the
+// pressure-solver variant entirely within the empirical model (no
+// simulation runs), answering: how many cores are worth requesting, and
+// what is the optimised solver worth at each machine size?
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cpx"
+)
+
+func main() {
+	// Fitted curves standing in for benchmark campaigns (the harness fits
+	// these from real virtual-time runs; here they are the workflow demo).
+	mgcfd24 := &cpx.Curve{BaseCores: 100, BaseTime: 120, P50: 5200, K: 1.2}
+	mgcfd150 := &cpx.Curve{BaseCores: 100, BaseTime: 700, P50: 8000, K: 1.2}
+	combBase := &cpx.Curve{BaseCores: 100, BaseTime: 9500, P50: 2600, K: 1.3}
+	combOpt := &cpx.Curve{BaseCores: 100, BaseTime: 4300, P50: 9500, K: 1.3}
+	cu := &cpx.Curve{BaseCores: 1, BaseTime: 0.9, P50: 220, K: 1.1}
+
+	build := func(comb *cpx.Curve) []cpx.Component {
+		comps := []cpx.Component{}
+		for i := 0; i < 12; i++ {
+			comps = append(comps, cpx.Component{
+				Name: fmt.Sprintf("row%02d", i+1), Curve: mgcfd24, MinRanks: 100,
+			})
+		}
+		comps = append(comps,
+			cpx.Component{Name: "row13 (150M)", Curve: mgcfd150, MinRanks: 100},
+			cpx.Component{Name: "combustor", Curve: comb, MinRanks: 100},
+			cpx.Component{Name: "row15 (150M)", Curve: mgcfd150, MinRanks: 100},
+			cpx.Component{Name: "coupling units", Curve: cu, IsCU: true, IterRatio: 1000},
+		)
+		return comps
+	}
+
+	fmt.Printf("%10s %16s %16s %10s %12s\n",
+		"budget", "base rt(s)", "optimized rt(s)", "speedup", "idle cores")
+	for _, budget := range []int{5_000, 10_000, 20_000, 40_000, 80_000} {
+		base, err := cpx.Allocate(build(combBase), budget)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opt, err := cpx.Allocate(build(combOpt), budget)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%10d %16.0f %16.0f %9.1fx %12d\n",
+			budget, base.Predicted, opt.Predicted,
+			cpx.PredictSpeedup(base, opt), base.Unallocated+opt.Unallocated)
+	}
+	fmt.Println("\nPast the base combustor's PE knee, extra cores buy nothing for the")
+	fmt.Println("unoptimised code (idle cores grow); the optimised solver keeps")
+	fmt.Println("absorbing them, which is where its headline speedup comes from.")
+}

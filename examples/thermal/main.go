@@ -1,0 +1,53 @@
+// Thermal: the paper's stated extension — coupled CFD, combustion AND
+// structural simulation. A compressor row and a SIMPIC combustor feed
+// heat into the engine casing, modelled by the finite-element thermal
+// solver, through steady-state coupling units.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cpx"
+)
+
+func main() {
+	combustor := cpx.SimpicConfig{Cells: 2048, ParticlesPerCell: 20, Steps: 40, Seed: 2}
+	casing := cpx.FEMConfig{NAxial: 24, NCirc: 48, Steps: 1, Conductivity: 2}
+
+	sim := &cpx.Simulation{
+		Instances: []cpx.Instance{
+			{Name: "compressor", Kind: cpx.MGCFD, MeshCells: 50_000, Ranks: 6, Seed: 1},
+			{Name: "combustor", Kind: cpx.SIMPIC, MeshCells: 28_000_000, Ranks: 6, Simpic: &combustor, Seed: 2},
+			{Name: "casing", Kind: cpx.FEMThermal, MeshCells: int64(casing.NAxial * casing.NCirc), FEM: &casing, Seed: 3},
+		},
+		Units: []cpx.CouplingUnit{
+			// Flow path: compressor -> combustor.
+			{Name: "hpc-comb", A: 0, B: 1, Kind: cpx.SteadyState, Points: 20_000,
+				Ranks: 1, Search: cpx.PrefetchSearch, ExchangeEvery: 4},
+			// Thermal path: hot combustor gas heats the casing.
+			{Name: "comb-casing", A: 1, B: 2, Kind: cpx.SteadyState, Points: 5_000,
+				Ranks: 1, Search: cpx.PrefetchSearch, ExchangeEvery: 4},
+		},
+		DensitySteps:    12,
+		RotationPerStep: 0.002,
+		Scale:           cpx.ProductionScale(),
+	}
+	// Give the casing a couple of ranks.
+	sim.Instances[2].Ranks = 2
+
+	fmt.Printf("coupled CFD + combustion + structural run: %d ranks\n\n", sim.TotalRanks())
+	rep, err := sim.Run(cpx.RunConfig{Machine: cpx.ARCHER2()})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-14s %12s %12s\n", "instance", "time(s)", "compute(s)")
+	for i, inst := range sim.Instances {
+		fmt.Printf("%-14s %12.4f %12.4f\n", inst.Name, rep.InstanceTime[i], rep.InstanceComp[i])
+	}
+	fmt.Printf("\nsimulated run-time %.4f s over %d density steps\n", rep.Elapsed, rep.DensitySteps)
+	fmt.Printf("coupling share: %.2f%%\n", 100*rep.CouplingShare)
+	fmt.Println("\nThe casing FEM assembles real bilinear-quad stiffness matrices and")
+	fmt.Println("advances backward-Euler conduction with AMG-preconditioned CG each")
+	fmt.Println("exchange period, absorbing convective heat loads from the combustor.")
+}

@@ -1,0 +1,3 @@
+module cpx
+
+go 1.24

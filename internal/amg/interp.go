@@ -1,0 +1,246 @@
+package amg
+
+import (
+	"math"
+	"sort"
+
+	"cpx/internal/sparse"
+)
+
+// TentativeProlongation builds the piecewise-constant prolongation of
+// aggregation AMG: P[i, agg[i]] = 1.
+func TentativeProlongation(agg []int, numAgg int) *sparse.CSR {
+	n := len(agg)
+	rp := make([]int, n+1)
+	ci := make([]int, n)
+	v := make([]float64, n)
+	for i := 0; i < n; i++ {
+		rp[i+1] = i + 1
+		ci[i] = agg[i]
+		v[i] = 1
+	}
+	return &sparse.CSR{Rows: n, Cols: numAgg, RowPtr: rp, ColIdx: ci, Val: v}
+}
+
+// SmoothProlongation applies one damped-Jacobi smoothing step to a
+// tentative prolongation: P = (I - w D^-1 A) T, the smoothed-aggregation
+// refinement that markedly improves convergence on elliptic problems.
+func SmoothProlongation(a *sparse.CSR, tentative *sparse.CSR, weight float64) *sparse.CSR {
+	d := a.Diag()
+	// Build (I - w D^-1 A) explicitly, then one SpGEMM.
+	var ri, ci []int
+	var v []float64
+	for i := 0; i < a.Rows; i++ {
+		di := d[i]
+		if di == 0 {
+			di = 1
+		}
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			j := a.ColIdx[k]
+			x := -weight * a.Val[k] / di
+			if j == i {
+				x += 1
+			}
+			ri = append(ri, i)
+			ci = append(ci, j)
+			v = append(v, x)
+		}
+	}
+	s := sparse.FromCOO(a.Rows, a.Cols, ri, ci, v)
+	return sparse.Mul(s, tentative)
+}
+
+// DirectInterpolation builds classical distance-one interpolation for a
+// C/F splitting: C-points inject (identity rows); each F-point i
+// interpolates from its strong C-neighbours with
+//
+//	w_ij = -alpha_i * a_ij / a_ii,  alpha_i = sum_{k!=i} a_ik / sum_{j in C_i} a_ij,
+//
+// the standard formula for M-matrices (Stüben). F-points with no strong
+// C-neighbour get an empty row (callers use EnsureInterpolable to avoid
+// them, or ExtendedIInterpolation which reaches distance two).
+func DirectInterpolation(a *sparse.CSR, strength [][]int, cf []CF) *sparse.CSR {
+	validateSquare(a, "DirectInterpolation")
+	index, nc := CoarseIndex(cf)
+	var ri, ci []int
+	var v []float64
+	for i := 0; i < a.Rows; i++ {
+		if cf[i] == CPoint {
+			ri = append(ri, i)
+			ci = append(ci, index[i])
+			v = append(v, 1)
+			continue
+		}
+		// Strong C-neighbour set.
+		cset := map[int]bool{}
+		for _, j := range strength[i] {
+			if cf[j] == CPoint {
+				cset[j] = true
+			}
+		}
+		if len(cset) == 0 {
+			continue
+		}
+		var diag, sumAll, sumC float64
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			j := a.ColIdx[k]
+			if j == i {
+				diag = a.Val[k]
+				continue
+			}
+			sumAll += a.Val[k]
+			if cset[j] {
+				sumC += a.Val[k]
+			}
+		}
+		if diag == 0 || sumC == 0 {
+			continue
+		}
+		alpha := sumAll / sumC
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			j := a.ColIdx[k]
+			if j == i || !cset[j] {
+				continue
+			}
+			ri = append(ri, i)
+			ci = append(ci, index[j])
+			v = append(v, -alpha*a.Val[k]/diag)
+		}
+	}
+	return sparse.FromCOO(a.Rows, nc, ri, ci, v)
+}
+
+// ExtendedIInterpolation builds distance-two ("extended+i") interpolation
+// [52]: the interpolation set of an F-point i is its strong C-neighbours
+// plus the strong C-neighbours of its strong F-neighbours. Connections to
+// strong F-neighbours are distributed onto that extended set in
+// proportion to the F-neighbour's own couplings, and weak connections are
+// lumped onto the diagonal. More compute per point than direct
+// interpolation, but faster-converging hierarchies — exactly the
+// trade-off Section IV-B recommends.
+func ExtendedIInterpolation(a *sparse.CSR, strength [][]int, cf []CF) *sparse.CSR {
+	validateSquare(a, "ExtendedIInterpolation")
+	index, nc := CoarseIndex(cf)
+	strong := make([]map[int]bool, a.Rows)
+	for i := range strong {
+		strong[i] = map[int]bool{}
+		for _, j := range strength[i] {
+			strong[i][j] = true
+		}
+	}
+	var ri, ci []int
+	var v []float64
+	for i := 0; i < a.Rows; i++ {
+		if cf[i] == CPoint {
+			ri = append(ri, i)
+			ci = append(ci, index[i])
+			v = append(v, 1)
+			continue
+		}
+		// Extended coarse set: strong C at distance one and two.
+		ext := map[int]float64{} // coarse point -> accumulated coupling
+		for _, j := range strength[i] {
+			if cf[j] == CPoint {
+				ext[j] = 0
+			} else {
+				for _, k := range strength[j] {
+					if cf[k] == CPoint && k != i {
+						ext[k] = 0
+					}
+				}
+			}
+		}
+		if len(ext) == 0 {
+			continue
+		}
+		// Accumulate couplings: direct ones plus distributed F-neighbour
+		// contributions; weak connections lump onto the diagonal.
+		diag := 0.0
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			j := a.ColIdx[k]
+			aij := a.Val[k]
+			switch {
+			case j == i:
+				diag += aij
+			case !strong[i][j]:
+				diag += aij // weak: lump
+			case cf[j] == CPoint:
+				ext[j] += aij
+			default:
+				// Strong F-neighbour: distribute a_ij over ext ∩ C_j
+				// proportionally to a_jk.
+				denom := 0.0
+				for kk := a.RowPtr[j]; kk < a.RowPtr[j+1]; kk++ {
+					jj := a.ColIdx[kk]
+					if _, ok := ext[jj]; ok && jj != j {
+						denom += a.Val[kk]
+					}
+				}
+				if denom == 0 {
+					diag += aij // nowhere to distribute: lump
+					continue
+				}
+				for kk := a.RowPtr[j]; kk < a.RowPtr[j+1]; kk++ {
+					jj := a.ColIdx[kk]
+					if _, ok := ext[jj]; ok && jj != j {
+						ext[jj] += aij * a.Val[kk] / denom
+					}
+				}
+			}
+		}
+		// Guard: lumping weak couplings can drive the effective diagonal
+		// toward zero on awkward splittings, exploding the weights and
+		// leaving a near-singular Galerkin operator. Fall back to the
+		// plain diagonal when that happens.
+		if math.Abs(diag) < 0.1*math.Abs(a.At(i, i)) {
+			diag = a.At(i, i)
+		}
+		if diag == 0 {
+			continue
+		}
+		// Truncate to the strongest PMax weights (rescaled to preserve
+		// the row sum), hypre's standard defence against the operator
+		// complexity growth of distance-two interpolation.
+		const pMax = 4
+		type wc struct {
+			col int
+			w   float64
+		}
+		row := make([]wc, 0, len(ext))
+		for j, coupling := range ext {
+			if w := -coupling / diag; w != 0 {
+				row = append(row, wc{index[j], w})
+			}
+		}
+		if len(row) > pMax {
+			sort.Slice(row, func(a, b int) bool {
+				wa, wb := math.Abs(row[a].w), math.Abs(row[b].w)
+				if wa != wb {
+					return wa > wb
+				}
+				return row[a].col < row[b].col
+			})
+			var fullSum, keptSum float64
+			for _, e := range row {
+				fullSum += e.w
+			}
+			row = row[:pMax]
+			for _, e := range row {
+				keptSum += e.w
+			}
+			if keptSum != 0 {
+				scale := fullSum / keptSum
+				for k := range row {
+					row[k].w *= scale
+				}
+			}
+		}
+		sort.Slice(row, func(a, b int) bool { return row[a].col < row[b].col })
+		for _, e := range row {
+			ri = append(ri, i)
+			ci = append(ci, e.col)
+			v = append(v, e.w)
+		}
+	}
+	return sparse.FromCOO(a.Rows, nc, ri, ci, v)
+}

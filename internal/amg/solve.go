@@ -1,0 +1,200 @@
+package amg
+
+import (
+	"math"
+
+	"cpx/internal/cluster"
+	"cpx/internal/sparse"
+)
+
+// Result reports the outcome of an iterative solve.
+type Result struct {
+	Iterations int
+	Residual   float64 // final relative residual ||b-Ax|| / ||b||
+	Converged  bool
+}
+
+// Solve runs stationary AMG iteration (one cycle per step) on A x = b
+// until the relative residual drops below tol or maxIter cycles elapse.
+func (h *Hierarchy) Solve(b, x []float64, tol float64, maxIter int) Result {
+	a := h.Levels[0].A
+	n := a.Rows
+	r := make([]float64, n)
+	bnorm := norm2(b)
+	if bnorm == 0 {
+		bnorm = 1
+	}
+	for it := 1; it <= maxIter; it++ {
+		h.ApplyCycle(b, x)
+		a.MulVec(x, r)
+		for i := range r {
+			r[i] = b[i] - r[i]
+		}
+		res := norm2(r) / bnorm
+		if res < tol {
+			return Result{Iterations: it, Residual: res, Converged: true}
+		}
+	}
+	a.MulVec(x, r)
+	for i := range r {
+		r[i] = b[i] - r[i]
+	}
+	return Result{Iterations: maxIter, Residual: norm2(r) / bnorm}
+}
+
+// PCG solves A x = b with conjugate gradients preconditioned by one AMG
+// cycle per iteration — the pressure-correction solver configuration of
+// the production code (CG + aggregate AMG).
+func (h *Hierarchy) PCG(b, x []float64, tol float64, maxIter int) Result {
+	a := h.Levels[0].A
+	n := a.Rows
+	r := make([]float64, n)
+	a.MulVec(x, r)
+	for i := range r {
+		r[i] = b[i] - r[i]
+	}
+	bnorm := norm2(b)
+	if bnorm == 0 {
+		bnorm = 1
+	}
+	z := make([]float64, n)
+	h.ApplyCycle(r, z)
+	p := make([]float64, n)
+	copy(p, z)
+	ap := make([]float64, n)
+	rz := dot(r, z)
+	for it := 1; it <= maxIter; it++ {
+		a.MulVec(p, ap)
+		pap := dot(p, ap)
+		if pap == 0 {
+			return Result{Iterations: it, Residual: norm2(r) / bnorm}
+		}
+		alpha := rz / pap
+		for i := range x {
+			x[i] += alpha * p[i]
+			r[i] -= alpha * ap[i]
+		}
+		res := norm2(r) / bnorm
+		if res < tol {
+			return Result{Iterations: it, Residual: res, Converged: true}
+		}
+		for i := range z {
+			z[i] = 0
+		}
+		h.ApplyCycle(r, z)
+		rzNew := dot(r, z)
+		beta := rzNew / rz
+		rz = rzNew
+		for i := range p {
+			p[i] = z[i] + beta*p[i]
+		}
+	}
+	return Result{Iterations: maxIter, Residual: norm2(r) / bnorm}
+}
+
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func norm2(a []float64) float64 { return math.Sqrt(dot(a, a)) }
+
+// ---- Distributed solve ------------------------------------------------------
+
+// DistSolver solves a distributed system with CG preconditioned by a
+// block-local AMG hierarchy: each rank owns a row block of the global
+// operator (sparse.Dist), builds a serial hierarchy on its diagonal
+// block, and applies it as a block-Jacobi preconditioner. Combined with
+// the HybridGS smoother this is exactly the "hybrid Gauss-Seidel within a
+// task, Jacobi across tasks" structure of Section IV-B.
+type DistSolver struct {
+	D     *sparse.Dist
+	Local *Hierarchy
+}
+
+// NewDistSolver builds the local-block hierarchy. Collective over d.Comm.
+func NewDistSolver(d *sparse.Dist, opts Options) (*DistSolver, error) {
+	// Extract the diagonal block of the localised rows.
+	own := d.OwnedRows()
+	rp := make([]int, own+1)
+	var ci []int
+	var v []float64
+	l := d.Local
+	for i := 0; i < own; i++ {
+		for k := l.RowPtr[i]; k < l.RowPtr[i+1]; k++ {
+			if c := l.ColIdx[k]; c < own {
+				ci = append(ci, c)
+				v = append(v, l.Val[k])
+			}
+		}
+		rp[i+1] = len(ci)
+	}
+	block := &sparse.CSR{Rows: own, Cols: own, RowPtr: rp, ColIdx: ci, Val: v}
+	h, err := Setup(block, opts)
+	if err != nil {
+		return nil, err
+	}
+	// Charge the setup work (the AMG setup phase the paper flags as a
+	// >30k-core scaling concern).
+	d.Comm.Compute(h.SetupWork.Scale(d.WorkScale))
+	return &DistSolver{D: d, Local: h}, nil
+}
+
+// precondition applies one local AMG cycle to r, charging its work.
+func (s *DistSolver) precondition(r, z []float64) {
+	for i := range z {
+		z[i] = 0
+	}
+	s.Local.ApplyCycle(r, z)
+	s.D.Comm.Compute(s.Local.CycleWork().Scale(s.D.WorkScale))
+}
+
+// Solve runs distributed PCG. b and x are the rank's owned slices.
+// Collective over the communicator; every rank gets the same Result.
+func (s *DistSolver) Solve(b, x []float64, tol float64, maxIter int) Result {
+	d := s.D
+	n := d.OwnedRows()
+	r := make([]float64, n)
+	d.MulVec(x, r)
+	for i := range r {
+		r[i] = b[i] - r[i]
+	}
+	bnorm := d.Norm2(b)
+	if bnorm == 0 {
+		bnorm = 1
+	}
+	z := make([]float64, n)
+	s.precondition(r, z)
+	p := make([]float64, n)
+	copy(p, z)
+	ap := make([]float64, n)
+	rz := d.Dot(r, z)
+	for it := 1; it <= maxIter; it++ {
+		d.MulVec(p, ap)
+		pap := d.Dot(p, ap)
+		if pap == 0 {
+			return Result{Iterations: it, Residual: d.Norm2(r) / bnorm}
+		}
+		alpha := rz / pap
+		for i := range x {
+			x[i] += alpha * p[i]
+			r[i] -= alpha * ap[i]
+		}
+		d.Comm.Compute(cluster.Work{Flops: 4 * float64(n) * d.WorkScale, Bytes: 48 * float64(n) * d.WorkScale})
+		res := d.Norm2(r) / bnorm
+		if res < tol {
+			return Result{Iterations: it, Residual: res, Converged: true}
+		}
+		s.precondition(r, z)
+		rzNew := d.Dot(r, z)
+		beta := rzNew / rz
+		rz = rzNew
+		for i := range p {
+			p[i] = z[i] + beta*p[i]
+		}
+	}
+	return Result{Iterations: maxIter, Residual: d.Norm2(r) / bnorm}
+}

@@ -1,0 +1,158 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestARCHER2Valid(t *testing.T) {
+	m := ARCHER2()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.CoresPerNode != 128 {
+		t.Errorf("ARCHER2 CoresPerNode = %d, want 128", m.CoresPerNode)
+	}
+}
+
+func TestSmallClusterValid(t *testing.T) {
+	if err := SmallCluster().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCirrus32Valid(t *testing.T) {
+	m := Cirrus32()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.CoresPerNode != 32 {
+		t.Errorf("Cirrus32 cores/node = %d", m.CoresPerNode)
+	}
+	// Fewer ranks share each NIC than on ARCHER2: per-rank effective
+	// bandwidth must be at least ARCHER2's.
+	if m.EffectiveInterBW() < ARCHER2().EffectiveInterBW() {
+		t.Error("32-core/node system should have >= per-rank bandwidth")
+	}
+}
+
+func TestValidateRejectsBadMachines(t *testing.T) {
+	cases := []Machine{
+		{Name: "no cores", FlopRate: 1, MemBW: 1, IntraNodeBW: 1, InterNodeBW: 1},
+		{Name: "no flops", CoresPerNode: 4, MemBW: 1, IntraNodeBW: 1, InterNodeBW: 1},
+		{Name: "no bw", CoresPerNode: 4, FlopRate: 1, MemBW: 1, InterNodeBW: 1},
+		{Name: "neg lat", CoresPerNode: 4, FlopRate: 1, MemBW: 1, IntraNodeBW: 1, InterNodeBW: 1, InterNodeLatency: -1},
+	}
+	for _, m := range cases {
+		if err := m.Validate(); err == nil {
+			t.Errorf("Validate(%q) = nil, want error", m.Name)
+		}
+	}
+}
+
+func TestNodeMapping(t *testing.T) {
+	m := ARCHER2()
+	if m.Node(0) != 0 || m.Node(127) != 0 || m.Node(128) != 1 {
+		t.Errorf("block node mapping wrong: %d %d %d", m.Node(0), m.Node(127), m.Node(128))
+	}
+	if !m.SameNode(5, 100) {
+		t.Error("ranks 5 and 100 should share node 0")
+	}
+	if m.SameNode(127, 128) {
+		t.Error("ranks 127 and 128 should be on different nodes")
+	}
+}
+
+func TestNodesCount(t *testing.T) {
+	m := ARCHER2()
+	for _, tc := range []struct{ p, want int }{{1, 1}, {128, 1}, {129, 2}, {40000, 313}} {
+		if got := m.Nodes(tc.p); got != tc.want {
+			t.Errorf("Nodes(%d) = %d, want %d", tc.p, got, tc.want)
+		}
+	}
+}
+
+func TestComputeTimeRoofline(t *testing.T) {
+	m := &Machine{Name: "t", CoresPerNode: 1, FlopRate: 10, MemBW: 5,
+		IntraNodeBW: 1, InterNodeBW: 1}
+	// Flop-bound: 100 flops, no bytes -> 10 s.
+	if got := m.ComputeTime(Work{Flops: 100}); math.Abs(got-10) > 1e-12 {
+		t.Errorf("flop-bound time = %v, want 10", got)
+	}
+	// Memory-bound: 10 flops (1 s) but 50 bytes (10 s) -> 10 s.
+	if got := m.ComputeTime(Work{Flops: 10, Bytes: 50}); math.Abs(got-10) > 1e-12 {
+		t.Errorf("memory-bound time = %v, want 10", got)
+	}
+}
+
+func TestTransferTimeOrdering(t *testing.T) {
+	m := ARCHER2()
+	const bytes = 1 << 20
+	self := m.TransferTime(3, 3, bytes)
+	intra := m.TransferTime(0, 64, bytes)
+	inter := m.TransferTime(0, 128, bytes)
+	if !(self < intra && intra < inter) {
+		t.Errorf("expected self < intra < inter, got %v %v %v", self, intra, inter)
+	}
+}
+
+func TestTransferTimeNegativeBytesClamped(t *testing.T) {
+	m := ARCHER2()
+	if got := m.TransferTime(0, 200, -5); got != m.InterNodeLatency {
+		t.Errorf("negative bytes: got %v, want latency only %v", got, m.InterNodeLatency)
+	}
+}
+
+func TestEffectiveInterBWContention(t *testing.T) {
+	m := ARCHER2()
+	if eff := m.EffectiveInterBW(); eff > m.InterNodeBW {
+		t.Errorf("effective inter BW %v exceeds link BW %v", eff, m.InterNodeBW)
+	}
+	m2 := *m
+	m2.ContendingRanks = 0
+	if eff := m2.EffectiveInterBW(); eff != m2.InterNodeBW {
+		t.Errorf("no contention: got %v, want %v", eff, m2.InterNodeBW)
+	}
+	m3 := *m
+	m3.ContendingRanks = 1000 // heavy contention must reduce bandwidth
+	if !(m3.EffectiveInterBW() < m.EffectiveInterBW()) {
+		t.Error("more contending ranks should lower effective bandwidth")
+	}
+}
+
+func TestWorkAlgebra(t *testing.T) {
+	w := Work{Flops: 2, Bytes: 3}.Add(Work{Flops: 5, Bytes: 7}).Scale(2)
+	if w.Flops != 14 || w.Bytes != 20 {
+		t.Errorf("work algebra got %+v", w)
+	}
+}
+
+// Property: transfer time is monotone non-decreasing in message size.
+func TestTransferMonotoneProperty(t *testing.T) {
+	m := ARCHER2()
+	f := func(a, b uint16, src, dst uint8) bool {
+		s, l := int(a), int(b)
+		if s > l {
+			s, l = l, s
+		}
+		return m.TransferTime(int(src), int(dst), s) <= m.TransferTime(int(src), int(dst), l)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: compute time scales linearly with work.
+func TestComputeLinearProperty(t *testing.T) {
+	m := ARCHER2()
+	f := func(fl, by uint32) bool {
+		w := Work{Flops: float64(fl), Bytes: float64(by)}
+		t1 := m.ComputeTime(w)
+		t2 := m.ComputeTime(w.Scale(3))
+		return math.Abs(t2-3*t1) <= 1e-9*math.Max(1, t2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

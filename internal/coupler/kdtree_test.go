@@ -1,0 +1,126 @@
+package coupler
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomPoints(n int, seed int64) []Point2 {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]Point2, n)
+	for i := range pts {
+		pts[i] = Point2{X: rng.Float64(), Y: rng.Float64(), Idx: i}
+	}
+	return pts
+}
+
+func TestKDTreeMatchesBruteForce(t *testing.T) {
+	pts := randomPoints(500, 1)
+	tree := BuildKDTree(pts)
+	queries := randomPoints(50, 2)
+	for _, q := range queries {
+		for _, k := range []int{1, 4, 10} {
+			got := tree.KNearest(q, k)
+			want := bruteKNearest(pts, q, k)
+			if len(got) != len(want) {
+				t.Fatalf("k=%d: %d results, want %d", k, len(got), len(want))
+			}
+			for i := range got {
+				if got[i].dist != want[i].dist {
+					t.Fatalf("k=%d result %d: dist %v, want %v", k, i, got[i].dist, want[i].dist)
+				}
+			}
+		}
+	}
+}
+
+func TestKDTreeNearestSelf(t *testing.T) {
+	pts := randomPoints(100, 3)
+	tree := BuildKDTree(pts)
+	for _, p := range pts[:10] {
+		if got := tree.Nearest(p); got.Idx != p.Idx {
+			t.Fatalf("nearest to stored point %d = %d", p.Idx, got.Idx)
+		}
+	}
+}
+
+func TestKDTreeEdgeCases(t *testing.T) {
+	// Empty tree.
+	if out := BuildKDTree(nil).KNearest(Point2{}, 3); out != nil {
+		t.Error("empty tree should return nil")
+	}
+	// k <= 0.
+	tree := BuildKDTree(randomPoints(5, 4))
+	if out := tree.KNearest(Point2{}, 0); out != nil {
+		t.Error("k=0 should return nil")
+	}
+	// k > n clamps.
+	if out := tree.KNearest(Point2{}, 100); len(out) != 5 {
+		t.Errorf("k>n returned %d", len(out))
+	}
+	// Single point.
+	one := BuildKDTree([]Point2{{X: 1, Y: 2, Idx: 0}})
+	if got := one.Nearest(Point2{X: 0, Y: 0}); got.Idx != 0 {
+		t.Error("single-point tree wrong")
+	}
+}
+
+func TestKDTreeDuplicatePoints(t *testing.T) {
+	pts := make([]Point2, 20)
+	for i := range pts {
+		pts[i] = Point2{X: 0.5, Y: 0.5, Idx: i}
+	}
+	tree := BuildKDTree(pts)
+	got := tree.KNearest(Point2{X: 0.5, Y: 0.5}, 4)
+	if len(got) != 4 {
+		t.Fatalf("duplicates: %d results", len(got))
+	}
+	for _, nb := range got {
+		if nb.dist != 0 {
+			t.Error("duplicate point distance nonzero")
+		}
+	}
+}
+
+func TestKDTreeDoesNotMutateInput(t *testing.T) {
+	pts := randomPoints(50, 5)
+	before := make([]Point2, len(pts))
+	copy(before, pts)
+	BuildKDTree(pts)
+	for i := range pts {
+		if pts[i] != before[i] {
+			t.Fatal("BuildKDTree mutated its input")
+		}
+	}
+}
+
+func TestKDTreeProperty(t *testing.T) {
+	f := func(seed int64, nRaw, kRaw uint8) bool {
+		n := int(nRaw)%200 + 1
+		k := int(kRaw)%8 + 1
+		pts := randomPoints(n, seed)
+		tree := BuildKDTree(pts)
+		q := Point2{X: 0.3, Y: 0.7}
+		got := tree.KNearest(q, k)
+		want := bruteKNearest(pts, q, k)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i].dist != want[i].dist {
+				return false
+			}
+		}
+		// Results sorted ascending.
+		for i := 1; i < len(got); i++ {
+			if got[i].dist < got[i-1].dist {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,639 @@
+package coupler
+
+import (
+	"fmt"
+	"math"
+
+	"cpx/internal/fem"
+	"cpx/internal/mgcfd"
+	"cpx/internal/mpi"
+	"cpx/internal/simpic"
+)
+
+// femShellFor sizes a casing shell so its element count matches the
+// requested mesh size, with a 10:1 circumference-to-length aspect.
+func femShellFor(cells int64) fem.Config {
+	if cells < 6 {
+		cells = 6
+	}
+	nc := int(math.Sqrt(float64(cells) * 10))
+	if nc < 3 {
+		nc = 3
+	}
+	na := int(cells) / nc
+	if na < 2 {
+		na = 2
+	}
+	return fem.Config{NAxial: na, NCirc: nc, Steps: 1}
+}
+
+// SolverKind identifies the mini-app behind an instance.
+type SolverKind int
+
+// Solver kinds.
+const (
+	KindMGCFD  SolverKind = iota // density-solver proxy (compressor/turbine rows)
+	KindSIMPIC                   // pressure-solver performance proxy (combustor)
+	KindFEM                      // casing thermal FEM (the paper's stated extension)
+)
+
+func (k SolverKind) String() string {
+	switch k {
+	case KindSIMPIC:
+		return "SIMPIC"
+	case KindFEM:
+		return "FEM-thermal"
+	default:
+		return "MG-CFD"
+	}
+}
+
+// InterfaceKind selects the coupling interaction type.
+type InterfaceKind int
+
+// Interface kinds (Section II-A).
+const (
+	// SlidingPlane: rotor/stator rows move relative to each other; the
+	// mapping is recomputed every exchange. Interface ~0.42% of the mesh.
+	SlidingPlane InterfaceKind = iota
+	// SteadyState: density-pressure interaction; the mapping is computed
+	// once. Interface ~5% of the mesh, exchanged every 20 iterations.
+	SteadyState
+)
+
+// Interface fractions of the mesh (paper, Section II-A).
+const (
+	SlidingFraction = 0.0042
+	SteadyFraction  = 0.05
+)
+
+// InstanceSpec describes one solver instance of the coupled simulation.
+type InstanceSpec struct {
+	Name      string
+	Kind      SolverKind
+	MeshCells int64 // mesh size (for SIMPIC: the pressure-solver equivalent)
+	Ranks     int
+	// StepsPerDensity is the instance's time-steps per density-solver
+	// step (defaults: MG-CFD 1, SIMPIC 2 — the pressure solver's
+	// time-step is about half as long).
+	StepsPerDensity int
+	// Simpic overrides the SIMPIC configuration (Base vs Optimized STC).
+	Simpic *simpic.Config
+	// FEM overrides the casing thermal configuration; if nil, a shell is
+	// sized so its element count matches MeshCells.
+	FEM  *fem.Config
+	Seed int64
+}
+
+func (is InstanceSpec) stepsPerDensity() int {
+	if is.StepsPerDensity > 0 {
+		return is.StepsPerDensity
+	}
+	if is.Kind == KindSIMPIC {
+		return 2
+	}
+	return 1
+}
+
+// UnitSpec describes one coupling unit connecting two instances.
+type UnitSpec struct {
+	Name   string
+	A, B   int // instance indices
+	Kind   InterfaceKind
+	Points int // true interface points per side
+	Ranks  int
+	Search Search
+	// ExchangeEvery in density steps (defaults: sliding 1, steady 20).
+	ExchangeEvery int
+	// Overlap >= 1 enables the overlapping/composite-domain approach of
+	// Section II-A ("overset"-style): a larger portion of each mesh is
+	// exchanged and mapped, multiplying the effective interface size.
+	// Zero or 1 disables.
+	Overlap float64
+}
+
+// effectivePoints returns the true interface size including any
+// composite-domain overlap.
+func (us UnitSpec) effectivePoints() int {
+	if us.Overlap > 1 {
+		return int(float64(us.Points) * us.Overlap)
+	}
+	return us.Points
+}
+
+func (us UnitSpec) exchangeEvery() int {
+	if us.ExchangeEvery > 0 {
+		return us.ExchangeEvery
+	}
+	if us.Kind == SteadyState {
+		return 20
+	}
+	return 1
+}
+
+// Scale bounds the working sets of a coupled run.
+type Scale struct {
+	MGCFD            mgcfd.ScaleOpts
+	Simpic           simpic.ScaleOpts
+	MaxPointsPerSide int // interface point cap per side per CU
+}
+
+// ProductionScale returns the capping used by the large harness runs
+// (sized so 40,000-rank coupled runs fit in a few GB of host memory).
+func ProductionScale() Scale {
+	return Scale{
+		MGCFD:            mgcfd.ScaleOpts{MaxCellsPerRank: 512},
+		Simpic:           simpic.ScaleOpts{MaxCellsPerRank: 2048, MaxParticlesPerRank: 2048},
+		MaxPointsPerSide: 1024,
+	}
+}
+
+// Simulation is a full coupled configuration.
+type Simulation struct {
+	Instances    []InstanceSpec
+	Units        []UnitSpec
+	DensitySteps int // coupled duration in density-solver steps
+	Scale        Scale
+	// RotationPerStep is the sliding-plane rotation per density step.
+	RotationPerStep float64
+}
+
+// TotalRanks returns the ranks the simulation occupies.
+func (sim *Simulation) TotalRanks() int {
+	total := 0
+	for _, is := range sim.Instances {
+		total += is.Ranks
+	}
+	for _, us := range sim.Units {
+		total += us.Ranks
+	}
+	return total
+}
+
+// Validate checks the wiring.
+func (sim *Simulation) Validate() error {
+	if len(sim.Instances) == 0 {
+		return fmt.Errorf("coupler: no instances")
+	}
+	if sim.DensitySteps < 1 {
+		return fmt.Errorf("coupler: DensitySteps must be positive")
+	}
+	for i, is := range sim.Instances {
+		if is.Ranks < 1 {
+			return fmt.Errorf("coupler: instance %d (%s) has no ranks", i, is.Name)
+		}
+	}
+	for u, us := range sim.Units {
+		if us.A < 0 || us.A >= len(sim.Instances) || us.B < 0 || us.B >= len(sim.Instances) || us.A == us.B {
+			return fmt.Errorf("coupler: unit %d (%s) connects invalid instances %d-%d", u, us.Name, us.A, us.B)
+		}
+		if us.Ranks < 1 {
+			return fmt.Errorf("coupler: unit %d (%s) has no ranks", u, us.Name)
+		}
+		if us.Points < 1 {
+			return fmt.Errorf("coupler: unit %d (%s) has no interface points", u, us.Name)
+		}
+	}
+	return nil
+}
+
+// role describes what a world rank does.
+type role struct {
+	isUnit bool
+	index  int // instance or unit index
+	local  int // rank within the group
+}
+
+// roleOf resolves a world rank against the layout
+// [inst0][inst1]...[unit0][unit1]...
+func (sim *Simulation) roleOf(worldRank int) role {
+	off := 0
+	for i, is := range sim.Instances {
+		if worldRank < off+is.Ranks {
+			return role{false, i, worldRank - off}
+		}
+		off += is.Ranks
+	}
+	for u, us := range sim.Units {
+		if worldRank < off+us.Ranks {
+			return role{true, u, worldRank - off}
+		}
+		off += us.Ranks
+	}
+	panic(fmt.Sprintf("coupler: rank %d beyond layout (%d total)", worldRank, sim.TotalRanks()))
+}
+
+// groupRanks returns the world ranks of an instance or unit group.
+func (sim *Simulation) groupRanks(isUnit bool, index int) (lo, hi int) {
+	off := 0
+	for i, is := range sim.Instances {
+		if !isUnit && i == index {
+			return off, off + is.Ranks
+		}
+		off += is.Ranks
+	}
+	for u, us := range sim.Units {
+		if isUnit && u == index {
+			return off, off + us.Ranks
+		}
+		off += us.Ranks
+	}
+	panic("coupler: unknown group")
+}
+
+// boundaryRanks is how many ranks of an instance handle interface traffic.
+func boundaryRanks(instanceRanks int) int {
+	if instanceRanks < 4 {
+		return instanceRanks
+	}
+	if instanceRanks > 8 {
+		return 8
+	}
+	return instanceRanks
+}
+
+// Report summarises a coupled run.
+type Report struct {
+	Elapsed       float64
+	InstanceTime  []float64 // max rank clock per instance
+	InstanceComp  []float64 // max rank compute time per instance
+	InstanceSetup []float64 // max setup (pre-stepping) clock per instance
+	InstanceMark  []float64 // max clock at the half-way density step
+	UnitTime      []float64 // max rank clock per unit
+	UnitComp      []float64 // max rank compute (busy) time per unit
+	UnitSetup     []float64 // max setup (initialisation-mapping) clock per unit
+	DensitySteps  int
+	// CouplingShare is the max per-unit steady busy time (setup mapping
+	// excluded — production couplers amortise it) over the elapsed time.
+	CouplingShare float64
+}
+
+// ScaledInstanceTime extrapolates instance i's run-time from the sampled
+// density steps to fullSteps using the steady-state rate measured over
+// the second half of the sample — the first half absorbs the exchange
+// pipeline's fill transient, which a long production run amortises but a
+// naive per-step scaling would multiply.
+func (rep *Report) ScaledInstanceTime(i, fullSteps int) float64 {
+	half := rep.DensitySteps - rep.DensitySteps/2
+	if rep.DensitySteps < 4 || rep.InstanceMark == nil || rep.InstanceMark[i] <= 0 {
+		// Too short a sample for rate separation: plain scaling.
+		stepping := rep.InstanceTime[i] - rep.InstanceSetup[i]
+		if stepping < 0 {
+			stepping = 0
+		}
+		return rep.InstanceSetup[i] + stepping*float64(fullSteps)/float64(rep.DensitySteps)
+	}
+	rate := (rep.InstanceTime[i] - rep.InstanceMark[i]) / float64(half)
+	if rate < 0 {
+		rate = 0
+	}
+	return rep.InstanceTime[i] + rate*float64(fullSteps-rep.DensitySteps)
+}
+
+// ScaledElapsed extrapolates the whole coupled run-time to fullSteps with
+// the same steady-state-rate rule.
+func (rep *Report) ScaledElapsed(fullSteps int) float64 {
+	out := 0.0
+	for i := range rep.InstanceTime {
+		if t := rep.ScaledInstanceTime(i, fullSteps); t > out {
+			out = t
+		}
+	}
+	return out
+}
+
+// Run executes the coupled simulation and reports per-component times.
+func (sim *Simulation) Run(cfg mpi.Config) (*Report, error) {
+	if err := sim.Validate(); err != nil {
+		return nil, err
+	}
+	// Per-rank setup and half-way clocks, written once by each rank
+	// (disjoint slots).
+	setupClocks := make([]float64, sim.TotalRanks())
+	markClocks := make([]float64, sim.TotalRanks())
+	stats, err := mpi.Run(sim.TotalRanks(), cfg, func(c *mpi.Comm) error {
+		return sim.rankMain(c, setupClocks, markClocks)
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		Elapsed:       stats.Elapsed,
+		InstanceTime:  make([]float64, len(sim.Instances)),
+		InstanceComp:  make([]float64, len(sim.Instances)),
+		InstanceSetup: make([]float64, len(sim.Instances)),
+		InstanceMark:  make([]float64, len(sim.Instances)),
+		UnitTime:      make([]float64, len(sim.Units)),
+		UnitComp:      make([]float64, len(sim.Units)),
+		UnitSetup:     make([]float64, len(sim.Units)),
+		DensitySteps:  sim.DensitySteps,
+	}
+	for i := range sim.Instances {
+		lo, hi := sim.groupRanks(false, i)
+		for r := lo; r < hi; r++ {
+			rep.InstanceTime[i] = math.Max(rep.InstanceTime[i], stats.Clocks[r])
+			rep.InstanceComp[i] = math.Max(rep.InstanceComp[i], stats.Compute[r])
+			rep.InstanceSetup[i] = math.Max(rep.InstanceSetup[i], setupClocks[r])
+			rep.InstanceMark[i] = math.Max(rep.InstanceMark[i], markClocks[r])
+		}
+	}
+	for u := range sim.Units {
+		lo, hi := sim.groupRanks(true, u)
+		for r := lo; r < hi; r++ {
+			rep.UnitTime[u] = math.Max(rep.UnitTime[u], stats.Clocks[r])
+			rep.UnitComp[u] = math.Max(rep.UnitComp[u], stats.Compute[r])
+			rep.UnitSetup[u] = math.Max(rep.UnitSetup[u], setupClocks[r])
+		}
+		if rep.Elapsed > 0 {
+			busy := rep.UnitComp[u] - rep.UnitSetup[u]
+			if busy < 0 {
+				busy = 0
+			}
+			rep.CouplingShare = math.Max(rep.CouplingShare, busy/rep.Elapsed)
+		}
+	}
+	return rep, nil
+}
+
+// Message tags: each unit gets a tag block.
+const (
+	tagUnitBase   = 1000
+	tagUnitStride = 16
+	tagToCU_A     = 0 // A-side boundary data to CU
+	tagToCU_B     = 1
+	tagFromCU_A   = 2 // interpolated values back to A
+	tagFromCU_B   = 3
+)
+
+func (sim *Simulation) unitTag(u, which int) int {
+	return tagUnitBase + u*tagUnitStride + which
+}
+
+// simPoints returns the simulated (capped) point count for a unit side.
+func (sim *Simulation) simPoints(us UnitSpec) int {
+	n := us.Points
+	if sim.Scale.MaxPointsPerSide > 0 && n > sim.Scale.MaxPointsPerSide {
+		n = sim.Scale.MaxPointsPerSide
+	}
+	return n
+}
+
+// rankMain is the per-rank program of the coupled run.
+func (sim *Simulation) rankMain(c *mpi.Comm, setupClocks, markClocks []float64) error {
+	r := sim.roleOf(c.Rank())
+	if r.isUnit {
+		return sim.unitMain(c, r, setupClocks)
+	}
+	return sim.instanceMain(c, r, setupClocks, markClocks)
+}
+
+// groupComm derives the private communicator of a rank's group without
+// any communication (the layout is contiguous by construction), so even
+// 30,000-rank instances need no world-wide exchange or O(p) group lists.
+func (sim *Simulation) groupComm(world *mpi.Comm, r role) *mpi.Comm {
+	id := r.index
+	if r.isUnit {
+		id += len(sim.Instances)
+	}
+	lo, hi := sim.groupRanks(r.isUnit, r.index)
+	return world.RangeComm(id, lo, hi-lo)
+}
+
+// instanceMain runs a solver instance rank.
+func (sim *Simulation) instanceMain(world *mpi.Comm, r role, setupClocks, markClocks []float64) error {
+	spec := sim.Instances[r.index]
+	group := sim.groupComm(world, r)
+
+	// Build the solver.
+	var step func() error
+	var sample func(n int) []float64
+	var absorb func([]float64)
+	switch spec.Kind {
+	case KindMGCFD:
+		s, err := mgcfd.New(group, mgcfd.Config{
+			MeshCells: spec.MeshCells, Steps: 1, Seed: spec.Seed,
+		}, sim.Scale.MGCFD)
+		if err != nil {
+			return fmt.Errorf("instance %s: %w", spec.Name, err)
+		}
+		step = func() error { s.Step(); return nil }
+		sample = s.BoundarySample
+		absorb = s.AbsorbBoundary
+	case KindSIMPIC:
+		cfg := simpic.BaseSTC(spec.MeshCells)
+		if spec.Simpic != nil {
+			cfg = *spec.Simpic
+		}
+		cfg.Seed = spec.Seed
+		s, err := simpic.New(group, cfg, sim.Scale.Simpic)
+		if err != nil {
+			return fmt.Errorf("instance %s: %w", spec.Name, err)
+		}
+		// Each coupled "pressure step" stands for StepsPerPressureStep
+		// SIMPIC micro-steps under the STC equivalence (Fig. 3): run one
+		// representative micro-step and stretch its cost to the block.
+		spp := cfg.StepsPerPressureStep()
+		step = func() error { s.StepBlock(1, spp); return nil }
+		sample = s.BoundarySample
+		absorb = s.AbsorbBoundary
+	case KindFEM:
+		cfg := femShellFor(spec.MeshCells)
+		if spec.FEM != nil {
+			cfg = *spec.FEM
+		}
+		cfg.Seed = spec.Seed
+		if cfg.Steps == 0 {
+			cfg.Steps = 1
+		}
+		s, err := fem.New(group, cfg)
+		if err != nil {
+			return fmt.Errorf("instance %s: %w", spec.Name, err)
+		}
+		step = func() error { _, err := s.Step(); return err }
+		sample = s.BoundarySample
+		absorb = s.AbsorbBoundary
+	default:
+		return fmt.Errorf("instance %s: unknown kind %d", spec.Name, spec.Kind)
+	}
+	setupClocks[world.Rank()] = world.Clock()
+
+	// Units adjacent to this instance.
+	type adj struct {
+		unit  int
+		side  byte // 'A' or 'B'
+		every int
+	}
+	var adjacent []adj
+	for u, us := range sim.Units {
+		if us.A == r.index {
+			adjacent = append(adjacent, adj{u, 'A', us.exchangeEvery()})
+		}
+		if us.B == r.index {
+			adjacent = append(adjacent, adj{u, 'B', us.exchangeEvery()})
+		}
+	}
+	nb := boundaryRanks(spec.Ranks)
+	isBoundary := r.local < nb
+
+	for d := 0; d < sim.DensitySteps; d++ {
+		for s := 0; s < spec.stepsPerDensity(); s++ {
+			if err := step(); err != nil {
+				return err
+			}
+		}
+		for _, a := range adjacent {
+			if (d+1)%a.every != 0 {
+				continue
+			}
+			if isBoundary {
+				sim.exchangeWithUnit(world, a.unit, a.side, r.local, nb, sample, absorb)
+			}
+		}
+		if d+1 == sim.DensitySteps/2 {
+			markClocks[world.Rank()] = world.Clock()
+		}
+	}
+	return nil
+}
+
+// exchangeWithUnit performs one boundary rank's part of a CU exchange:
+// send this rank's interface slice to every CU rank, then receive the
+// interpolated values coming back.
+func (sim *Simulation) exchangeWithUnit(world *mpi.Comm, u int, side byte, localIdx, nb int,
+	sample func(int) []float64, absorb func([]float64)) {
+	us := sim.Units[u]
+	cuLo, cuHi := sim.groupRanks(true, u)
+	cuRanks := cuHi - cuLo
+	simPts := sim.simPoints(us)
+	slice := sliceOf(simPts, nb, localIdx)
+	vals := sample(slice)
+
+	toTag, fromTag := sim.unitTag(u, tagToCU_A), sim.unitTag(u, tagFromCU_A)
+	if side == 'B' {
+		toTag, fromTag = sim.unitTag(u, tagToCU_B), sim.unitTag(u, tagFromCU_B)
+	}
+	// True bytes: this rank's share of the true interface (5 fields),
+	// spread across CU ranks with a 2x donor-overlap factor.
+	trueSlice := float64(us.effectivePoints()) / float64(nb)
+	perCUBytes := int(trueSlice * 5 * 8 * 2 / float64(cuRanks))
+	for cu := cuLo; cu < cuHi; cu++ {
+		world.SendVirtual(cu, toTag, vals, perCUBytes)
+	}
+	// Receive interpolated values from the CU ranks that own targets
+	// mapping to this boundary slice.
+	for cu := cuLo; cu < cuHi; cu++ {
+		if cuTargetOwner(cu-cuLo, cuRanks, nb) == localIdx {
+			d, _, _ := world.Recv(cu, fromTag)
+			absorb(d)
+		}
+	}
+}
+
+// cuTargetOwner maps CU rank j to the boundary rank receiving its
+// computed targets.
+func cuTargetOwner(j, cuRanks, nb int) int { return j % nb }
+
+// sliceOf splits n points across nb holders; holder i gets the remainder
+// spread evenly.
+func sliceOf(n, nb, i int) int {
+	return (i+1)*n/nb - i*n/nb
+}
+
+// unitMain runs one coupling-unit rank: per exchange event, gather both
+// sides' interface data, compute/refresh the mapping, interpolate, and
+// return results.
+func (sim *Simulation) unitMain(world *mpi.Comm, r role, setupClocks []float64) error {
+	us := sim.Units[r.index]
+
+	simPts := sim.simPoints(us)
+	nbA := boundaryRanks(sim.Instances[us.A].Ranks)
+	nbB := boundaryRanks(sim.Instances[us.B].Ranks)
+	cuLo, cuHi := sim.groupRanks(true, r.index)
+	cuRanks := cuHi - cuLo
+
+	// Interface geometry: both sides jittered annuli (distinct seeds).
+	ptsA := AnnulusPoints(simPts, int64(r.index)*2+1)
+	ptsB := AnnulusPoints(simPts, int64(r.index)*2+2)
+	mapAB := &Mapper{Kind: us.Search} // donors A -> targets B
+	mapBA := &Mapper{Kind: us.Search} // donors B -> targets A
+	every := us.exchangeEvery()
+	firstMapping := true
+
+	// This CU rank owns a share of the targets on each side.
+	tLoB, tHiB := shareOf(simPts, cuRanks, r.local)
+	tLoA, tHiA := shareOf(simPts, cuRanks, r.local)
+	scalePts := float64(us.effectivePoints()) / float64(simPts)
+
+	// Initialisation exchange: production couplers build the first donor
+	// mapping during setup so the expensive cold search (all prefetch
+	// misses, full tree build) is off the stepping critical path.
+	if us.Search == TreePrefetch {
+		mapAB.Map(ptsB[tLoB:tHiB], ptsA)
+		world.Compute(mapAB.MapWork(float64(tHiB-tLoB)*scalePts, float64(us.effectivePoints()), true))
+		mapBA.Map(ptsA[tLoA:tHiA], ptsB)
+		world.Compute(mapBA.MapWork(float64(tHiA-tLoA)*scalePts, float64(us.effectivePoints()), true))
+	}
+	setupClocks[world.Rank()] = world.Clock()
+
+	for d := 0; d < sim.DensitySteps; d++ {
+		if (d+1)%every != 0 {
+			continue
+		}
+		// Gather both sides' values (one message per boundary rank).
+		valsA := gatherSide(world, sim, us.A, nbA, sim.unitTag(r.index, tagToCU_A), simPts)
+		valsB := gatherSide(world, sim, us.B, nbB, sim.unitTag(r.index, tagToCU_B), simPts)
+
+		// Sliding planes rotate side A each exchange; the mapping must be
+		// recomputed. Steady state maps once.
+		donorsA := ptsA
+		if us.Kind == SlidingPlane {
+			donorsA = Rotate(ptsA, sim.RotationPerStep*float64(d+1))
+		}
+		rebuild := us.Kind == SlidingPlane || firstMapping
+		if rebuild {
+			mAB := mapAB.Map(ptsB[tLoB:tHiB], donorsA)
+			world.Compute(mapAB.MapWork(float64(tHiB-tLoB)*scalePts, float64(us.effectivePoints()), true))
+			mBA := mapBA.Map(donorsA[tLoA:tHiA], ptsB)
+			world.Compute(mapBA.MapWork(float64(tHiA-tLoA)*scalePts, float64(us.effectivePoints()), true))
+			mapAB.last, mapBA.last = mAB, mBA
+			firstMapping = false
+		}
+		// Interpolate and return.
+		outB := mapAB.last.Interpolate(valsA)
+		world.Compute(InterpolateWork(float64(tHiB-tLoB) * scalePts))
+		outA := mapBA.last.Interpolate(valsB)
+		world.Compute(InterpolateWork(float64(tHiA-tLoA) * scalePts))
+
+		dstB := sim.instanceWorldRank(us.B, cuTargetOwner(r.local, cuRanks, nbB))
+		dstA := sim.instanceWorldRank(us.A, cuTargetOwner(r.local, cuRanks, nbA))
+		trueOut := float64(us.effectivePoints()) / float64(cuRanks) * 5 * 8
+		world.SendVirtual(dstB, sim.unitTag(r.index, tagFromCU_B), outB, int(trueOut))
+		world.SendVirtual(dstA, sim.unitTag(r.index, tagFromCU_A), outA, int(trueOut))
+	}
+	return nil
+}
+
+// instanceWorldRank returns the world rank of an instance's local rank.
+func (sim *Simulation) instanceWorldRank(instance, local int) int {
+	lo, _ := sim.groupRanks(false, instance)
+	return lo + local
+}
+
+// shareOf splits n targets across k owners; owner i gets [lo, hi).
+func shareOf(n, k, i int) (lo, hi int) { return i * n / k, (i + 1) * n / k }
+
+// gatherSide receives the boundary slices of one instance side and
+// concatenates them in boundary-rank order.
+func gatherSide(world *mpi.Comm, sim *Simulation, instance, nb, tag, simPts int) []float64 {
+	out := make([]float64, 0, simPts)
+	parts := make([][]float64, nb)
+	for i := 0; i < nb; i++ {
+		src := sim.instanceWorldRank(instance, i)
+		d, _, _ := world.Recv(src, tag)
+		parts[i] = d
+	}
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}

@@ -1,0 +1,136 @@
+package harness
+
+import (
+	"fmt"
+
+	"cpx/internal/amg"
+	"cpx/internal/coupler"
+	"cpx/internal/sparse"
+)
+
+// mapperForKind builds a Mapper with a representative prefetch hit rate.
+func mapperForKind(kind int) *coupler.Mapper {
+	return &coupler.Mapper{Kind: coupler.Search(kind), LastHits: 95, LastMisses: 5}
+}
+
+// AMGAblation isolates each Section IV optimisation on a reference
+// pressure-correction operator: smoother choice, interpolation operator,
+// cycle type and SpGEMM kernel, reporting PCG iterations, operator
+// complexity and the modelled setup/cycle costs on the target machine.
+func (o Options) AMGAblation() (*Table, error) {
+	n := 24
+	if o.Quick {
+		n = 12
+	}
+	a := sparse.Poisson3D(n, n, n)
+	rhs := make([]float64, a.Rows)
+	for i := range rhs {
+		rhs[i] = float64(i%7) - 3
+	}
+
+	type variant struct {
+		name string
+		opts amg.Options
+	}
+	base := amg.DefaultOptions()
+	variants := []variant{
+		{"base (aggregation, Jacobi, V, two-pass)", base},
+	}
+	v := base
+	v.Smoother = amg.GaussSeidel
+	variants = append(variants, variant{"+ Gauss-Seidel smoother", v})
+	v = base
+	v.Smoother = amg.HybridGS
+	variants = append(variants, variant{"+ hybrid GS smoother [51]", v})
+	v = base
+	v.Smoother = amg.Chebyshev
+	variants = append(variants, variant{"+ Chebyshev polynomial smoother [51]", v})
+	v = base
+	v.Interp = amg.Smoothed
+	variants = append(variants, variant{"+ smoothed aggregation P", v})
+	v = base
+	v.Coarsening = amg.PMISSplit
+	v.Interp = amg.Direct
+	variants = append(variants, variant{"PMIS + direct interpolation", v})
+	v = base
+	v.Coarsening = amg.PMISSplit
+	v.Interp = amg.ExtendedI
+	variants = append(variants, variant{"PMIS + extended+i interpolation [52]", v})
+	v = base
+	v.Interp = amg.Smoothed
+	v.Cycle = amg.KCycle
+	variants = append(variants, variant{"+ K-cycle acceleration [50]", v})
+	v = base
+	v.SpGEMM = amg.SpGEMMSPA
+	variants = append(variants, variant{"+ SPA single-pass SpGEMM [48]", v})
+	v = base
+	v.Coarsening = amg.PMISSplit
+	v.Interp = amg.Direct
+	v.IdentityOpt = true
+	variants = append(variants, variant{"+ identity-block transfer SpMV [48]", v})
+	variants = append(variants, variant{"fully optimized (Section IV recipe)", amg.OptimizedOptions()})
+
+	t := &Table{
+		ID:    "amg-ablation",
+		Title: fmt.Sprintf("AMG design-choice ablation on a %d^3 pressure operator", n),
+		Headers: []string{"configuration", "PCG iters", "levels", "op complexity",
+			"setup Mflops", "cycle Mflops"},
+	}
+	for _, vr := range variants {
+		h, err := amg.Setup(a, vr.opts)
+		if err != nil {
+			return nil, fmt.Errorf("amg ablation %q: %w", vr.name, err)
+		}
+		x := make([]float64, a.Rows)
+		res := h.PCG(rhs, x, 1e-8, 400)
+		if !res.Converged {
+			return nil, fmt.Errorf("amg ablation %q did not converge (%d iters, res %.2e)",
+				vr.name, res.Iterations, res.Residual)
+		}
+		cyc := h.CycleWork()
+		t.AddRow(vr.name, d(res.Iterations), d(h.NumLevels()),
+			f2(h.OperatorComplexity()),
+			f2(h.SetupWork.Flops/1e6), f2(cyc.Flops/1e6))
+	}
+	t.Notes = append(t.Notes,
+		"the optimized recipe trades operator complexity (denser interpolation) for fewer, cheaper-per-byte iterations",
+		"SPA SpGEMM changes the setup cost only; results are bit-identical to two-pass")
+	return t, nil
+}
+
+// SearchAblation compares the three CPX donor-search strategies at
+// production interface sizes — the optimisation that removed the coupling
+// bottleneck between [13] and [31].
+func (o Options) SearchAblation() (*Table, error) {
+	donors := 200_000
+	targets := 50_000
+	if o.Quick {
+		donors, targets = 20_000, 5_000
+	}
+	t := &Table{
+		ID:      "search-ablation",
+		Title:   fmt.Sprintf("Sliding-plane donor search: %d targets over %d donors, per exchange", targets, donors),
+		Headers: []string{"strategy", "modelled time (ms)", "vs brute force"},
+	}
+	m := o.Machine
+	var bruteMs float64
+	for _, s := range []struct {
+		name string
+		kind int
+	}{
+		{"brute force", 0},
+		{"kd-tree", 1},
+		{"kd-tree + prefetch", 2},
+	} {
+		mp := mapperForKind(s.kind)
+		w := mp.MapWork(float64(targets), float64(donors), true)
+		ms := m.ComputeTime(w) * 1000
+		if s.kind == 0 {
+			bruteMs = ms
+		}
+		t.AddRow(s.name, f3(ms), f1(bruteMs/ms)+"x")
+	}
+	t.Notes = append(t.Notes,
+		"the production coupler's tree+prefetch search cut coupling overhead to <0.5% of run-time [31]")
+	return t, nil
+}

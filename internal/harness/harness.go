@@ -1,0 +1,209 @@
+// Package harness reproduces every table and figure of the paper's
+// evaluation (Sections III-V): it runs the mini-apps standalone on the
+// virtual-time ARCHER2 model to produce speedup/parallel-efficiency
+// sweeps, profiles the pressure-solver proxy per function, builds and
+// validates the empirical performance model, and executes the coupled
+// mini-app engine simulations. Each experiment returns a Table whose rows
+// mirror what the paper reports; cmd/cpxbench prints them and
+// bench_test.go wraps them as Go benchmarks.
+package harness
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"cpx/internal/cluster"
+	"cpx/internal/mgcfd"
+	"cpx/internal/mpi"
+	"cpx/internal/pressure"
+	"cpx/internal/simpic"
+	"cpx/internal/trace"
+)
+
+// Table is one reproduced figure or table.
+type Table struct {
+	ID      string // e.g. "fig4b"
+	Title   string
+	Headers []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i < len(widths) {
+				fmt.Fprintf(&sb, "%-*s  ", widths[i], c)
+			} else {
+				sb.WriteString(c + "  ")
+			}
+		}
+		sb.WriteString("\n")
+	}
+	line(t.Headers)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&sb, "note: %s\n", n)
+	}
+	return sb.String()
+}
+
+// Options configure the harness runs.
+type Options struct {
+	Machine *cluster.Machine
+	// Quick shrinks the core-count sweeps for fast smoke runs (used by
+	// unit tests); full sweeps reproduce the paper's axes.
+	Quick bool
+	// Verbose emits progress to stdout.
+	Verbose  bool
+	Watchdog time.Duration
+}
+
+// DefaultOptions runs the full sweeps on the ARCHER2 model.
+func DefaultOptions() Options {
+	return Options{Machine: cluster.ARCHER2(), Watchdog: 2 * time.Hour}
+}
+
+func (o Options) mpiConfig(profile bool) mpi.Config {
+	wd := o.Watchdog
+	if wd == 0 {
+		wd = 2 * time.Hour
+	}
+	return mpi.Config{Machine: o.Machine, Profile: profile, Watchdog: wd}
+}
+
+func (o Options) logf(format string, args ...any) {
+	if o.Verbose {
+		fmt.Printf(format+"\n", args...)
+	}
+}
+
+// ---- Standalone runtimes ----------------------------------------------------
+
+// scaleSampled converts a sampled run into the full-configuration
+// run-time: the one-off setup plus the stepping phase scaled by the
+// sampled fraction.
+func scaleSampled(elapsed, setup, fraction float64) float64 {
+	stepping := elapsed - setup
+	if stepping < 0 {
+		stepping = 0
+	}
+	return setup + stepping*fraction
+}
+
+// SimpicRuntime runs a SIMPIC configuration standalone on `cores` ranks
+// and returns the virtual run-time of the full configuration (sampled
+// steps scaled up).
+func (o Options) SimpicRuntime(cfg simpic.Config, cores int) (float64, error) {
+	sc := simpic.Production()
+	var setup float64
+	st, err := mpi.Run(cores, o.mpiConfig(false), func(c *mpi.Comm) error {
+		r, err := simpic.Run(c, cfg, sc)
+		if err == nil && c.Rank() == 0 {
+			setup = r.SetupTime
+		}
+		return err
+	})
+	if err != nil {
+		return 0, fmt.Errorf("simpic on %d cores: %w", cores, err)
+	}
+	return scaleSampled(st.Elapsed, setup, simpic.SampledFraction(cfg, sc)), nil
+}
+
+// PressureRuntime runs the pressure-solver proxy standalone, returning
+// the scaled virtual run-time and the merged per-function profile.
+func (o Options) PressureRuntime(cfg pressure.Config, cores int, profile bool) (float64, *trace.Profile, error) {
+	sc := pressure.Production()
+	var setup float64
+	st, err := mpi.Run(cores, o.mpiConfig(profile), func(c *mpi.Comm) error {
+		r, err := pressure.Run(c, cfg, sc)
+		if err == nil && c.Rank() == 0 {
+			setup = r.SetupTime
+		}
+		return err
+	})
+	if err != nil {
+		return 0, nil, fmt.Errorf("pressure on %d cores: %w", cores, err)
+	}
+	return scaleSampled(st.Elapsed, setup, pressure.SampledFraction(cfg, sc)), st.MergedProfile(), nil
+}
+
+// MGCFDRuntime runs the MG-CFD proxy standalone.
+func (o Options) MGCFDRuntime(cfg mgcfd.Config, cores int) (float64, error) {
+	sc := mgcfd.Production()
+	var setup float64
+	st, err := mpi.Run(cores, o.mpiConfig(false), func(c *mpi.Comm) error {
+		r, err := mgcfd.Run(c, cfg, sc)
+		if err == nil && c.Rank() == 0 {
+			setup = r.SetupTime
+		}
+		return err
+	})
+	if err != nil {
+		return 0, fmt.Errorf("mgcfd on %d cores: %w", cores, err)
+	}
+	return scaleSampled(st.Elapsed, setup, mgcfd.SampledFraction(cfg, sc)), nil
+}
+
+// Sweep holds a core-count sweep of runtimes.
+type Sweep struct {
+	Cores    []int
+	Runtimes []float64
+}
+
+// Speedup returns runtime(base)/runtime(p) per point.
+func (s *Sweep) Speedup() []float64 {
+	out := make([]float64, len(s.Cores))
+	for i := range s.Cores {
+		out[i] = s.Runtimes[0] / s.Runtimes[i]
+	}
+	return out
+}
+
+// PE returns the parallel efficiency per point, relative to the first.
+func (s *Sweep) PE() []float64 {
+	out := make([]float64, len(s.Cores))
+	for i := range s.Cores {
+		ideal := float64(s.Cores[i]) / float64(s.Cores[0])
+		out[i] = (s.Runtimes[0] / s.Runtimes[i]) / ideal
+	}
+	return out
+}
+
+// sweepCores returns the paper's core axes, shrunk in Quick mode.
+func (o Options) sweepCores(full []int) []int {
+	if !o.Quick {
+		return full
+	}
+	// Keep the first, one middle, and the last point.
+	if len(full) <= 3 {
+		return full
+	}
+	return []int{full[0], full[len(full)/2], full[len(full)-1]}
+}
+
+func f1(x float64) string  { return fmt.Sprintf("%.1f", x) }
+func f2(x float64) string  { return fmt.Sprintf("%.2f", x) }
+func f3(x float64) string  { return fmt.Sprintf("%.3f", x) }
+func pct(x float64) string { return fmt.Sprintf("%.0f%%", 100*x) }
+func d(x int) string       { return fmt.Sprintf("%d", x) }

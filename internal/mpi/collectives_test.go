@@ -1,0 +1,430 @@
+package mpi
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+// sizes exercises power-of-two and awkward communicator sizes.
+var sizes = []int{1, 2, 3, 4, 5, 7, 8, 13, 16, 33}
+
+func TestBarrierCompletes(t *testing.T) {
+	for _, p := range sizes {
+		run(t, p, func(c *Comm) error {
+			c.Barrier()
+			c.Barrier()
+			return nil
+		})
+	}
+}
+
+func TestBcastAllSizesAllRoots(t *testing.T) {
+	for _, p := range sizes {
+		for root := 0; root < p; root += max(1, p/3) {
+			rt := root
+			run(t, p, func(c *Comm) error {
+				var in []float64
+				if c.Rank() == rt {
+					in = []float64{3.14, float64(rt)}
+				}
+				out := c.Bcast(rt, in)
+				if len(out) != 2 || out[0] != 3.14 || out[1] != float64(rt) {
+					return fmt.Errorf("p=%d root=%d rank=%d got %v", p, rt, c.Rank(), out)
+				}
+				return nil
+			})
+		}
+	}
+}
+
+func TestReduceSum(t *testing.T) {
+	for _, p := range sizes {
+		pp := p
+		run(t, p, func(c *Comm) error {
+			res := c.Reduce(0, []float64{float64(c.Rank()), 1}, Sum)
+			if c.Rank() == 0 {
+				want := float64(pp*(pp-1)) / 2
+				if res[0] != want || res[1] != float64(pp) {
+					return fmt.Errorf("p=%d reduce got %v, want [%v %v]", pp, res, want, pp)
+				}
+			} else if res != nil {
+				return fmt.Errorf("non-root got non-nil reduce result")
+			}
+			return nil
+		})
+	}
+}
+
+func TestReduceNonZeroRoot(t *testing.T) {
+	run(t, 5, func(c *Comm) error {
+		res := c.Reduce(3, []float64{1}, Sum)
+		if c.Rank() == 3 && res[0] != 5 {
+			return fmt.Errorf("reduce at root 3 got %v", res)
+		}
+		return nil
+	})
+}
+
+func TestAllreduceOps(t *testing.T) {
+	for _, p := range sizes {
+		pp := p
+		run(t, p, func(c *Comm) error {
+			x := float64(c.Rank())
+			if got := c.AllreduceScalar(x, Sum); got != float64(pp*(pp-1))/2 {
+				return fmt.Errorf("sum got %v", got)
+			}
+			if got := c.AllreduceScalar(x, Max); got != float64(pp-1) {
+				return fmt.Errorf("max got %v", got)
+			}
+			if got := c.AllreduceScalar(x, Min); got != 0 {
+				return fmt.Errorf("min got %v", got)
+			}
+			if got := c.AllreduceInt(2, Sum); got != 2*pp {
+				return fmt.Errorf("int sum got %v", got)
+			}
+			return nil
+		})
+	}
+}
+
+func TestAllreduceVector(t *testing.T) {
+	run(t, 6, func(c *Comm) error {
+		v := []float64{float64(c.Rank()), -float64(c.Rank()), 1}
+		got := c.Allreduce(v, Sum)
+		if got[0] != 15 || got[1] != -15 || got[2] != 6 {
+			return fmt.Errorf("vector allreduce got %v", got)
+		}
+		// Input must be untouched.
+		if v[2] != 1 {
+			return fmt.Errorf("allreduce mutated input")
+		}
+		return nil
+	})
+}
+
+func TestGatherVariableLengths(t *testing.T) {
+	run(t, 4, func(c *Comm) error {
+		mine := make([]float64, c.Rank()+1)
+		for i := range mine {
+			mine[i] = float64(c.Rank())
+		}
+		all := c.Gather(2, mine)
+		if c.Rank() != 2 {
+			if all != nil {
+				return fmt.Errorf("non-root gather result non-nil")
+			}
+			return nil
+		}
+		for r, d := range all {
+			if len(d) != r+1 || (len(d) > 0 && d[0] != float64(r)) {
+				return fmt.Errorf("gather slot %d = %v", r, d)
+			}
+		}
+		return nil
+	})
+}
+
+func TestGatherInts(t *testing.T) {
+	run(t, 3, func(c *Comm) error {
+		all := c.GatherInts(0, []int{c.Rank() * 10})
+		if c.Rank() == 0 {
+			for r, d := range all {
+				if d[0] != r*10 {
+					return fmt.Errorf("gatherints slot %d = %v", r, d)
+				}
+			}
+		}
+		return nil
+	})
+}
+
+func TestAllgather(t *testing.T) {
+	for _, p := range []int{1, 2, 5, 8} {
+		run(t, p, func(c *Comm) error {
+			all := c.Allgather([]float64{float64(c.Rank() * c.Rank())})
+			for r, d := range all {
+				if len(d) != 1 || d[0] != float64(r*r) {
+					return fmt.Errorf("allgather slot %d = %v", r, d)
+				}
+			}
+			return nil
+		})
+	}
+}
+
+func TestAllgatherInts(t *testing.T) {
+	run(t, 7, func(c *Comm) error {
+		all := c.AllgatherInts([]int{c.Rank(), c.Rank() + 1})
+		for r, d := range all {
+			if d[0] != r || d[1] != r+1 {
+				return fmt.Errorf("allgatherints slot %d = %v", r, d)
+			}
+		}
+		return nil
+	})
+}
+
+func TestAlltoallv(t *testing.T) {
+	run(t, 4, func(c *Comm) error {
+		send := make([][]float64, 4)
+		for i := range send {
+			send[i] = []float64{float64(c.Rank()*100 + i)}
+		}
+		recv := c.Alltoallv(send)
+		for r, d := range recv {
+			want := float64(r*100 + c.Rank())
+			if d[0] != want {
+				return fmt.Errorf("alltoallv from %d = %v, want %v", r, d, want)
+			}
+		}
+		return nil
+	})
+}
+
+func TestScatter(t *testing.T) {
+	run(t, 4, func(c *Comm) error {
+		var parts [][]float64
+		if c.Rank() == 1 {
+			parts = [][]float64{{0}, {10}, {20}, {30}}
+		}
+		mine := c.Scatter(1, parts)
+		if mine[0] != float64(10*c.Rank()) {
+			return fmt.Errorf("scatter got %v", mine)
+		}
+		return nil
+	})
+}
+
+func TestExscanSum(t *testing.T) {
+	run(t, 5, func(c *Comm) error {
+		got := c.ExscanSum(float64(c.Rank() + 1))
+		// exclusive prefix of 1,2,3,4,5: 0,1,3,6,10
+		want := float64(c.Rank() * (c.Rank() + 1) / 2)
+		if got != want {
+			return fmt.Errorf("exscan rank %d = %v, want %v", c.Rank(), got, want)
+		}
+		return nil
+	})
+}
+
+func TestCollectiveVirtualCostGrowsWithRanks(t *testing.T) {
+	cost := func(p int) float64 {
+		st := run(t, p, func(c *Comm) error {
+			c.Allreduce(make([]float64, 1024), Sum)
+			return nil
+		})
+		return st.Elapsed
+	}
+	if !(cost(64) > cost(4)) {
+		t.Error("allreduce on 64 ranks should cost more virtual time than on 4")
+	}
+}
+
+func TestSplitByParity(t *testing.T) {
+	run(t, 9, func(c *Comm) error {
+		sub := c.Split(c.Rank()%2, c.Rank())
+		wantSize := 5
+		if c.Rank()%2 == 1 {
+			wantSize = 4
+		}
+		if sub.Size() != wantSize {
+			return fmt.Errorf("sub size = %d, want %d", sub.Size(), wantSize)
+		}
+		if sub.Rank() != c.Rank()/2 {
+			return fmt.Errorf("sub rank = %d, want %d", sub.Rank(), c.Rank()/2)
+		}
+		// Collective on the sub-communicator only sums members.
+		sum := sub.AllreduceScalar(1, Sum)
+		if int(sum) != wantSize {
+			return fmt.Errorf("sub allreduce = %v, want %d", sum, wantSize)
+		}
+		return nil
+	})
+}
+
+func TestSplitKeyOrdersRanks(t *testing.T) {
+	run(t, 4, func(c *Comm) error {
+		// Reverse order via key.
+		sub := c.Split(0, -c.Rank())
+		if sub.Rank() != 3-c.Rank() {
+			return fmt.Errorf("key ordering wrong: world %d -> sub %d", c.Rank(), sub.Rank())
+		}
+		return nil
+	})
+}
+
+func TestSplitUndefinedOptsOut(t *testing.T) {
+	run(t, 4, func(c *Comm) error {
+		color := 0
+		if c.Rank() == 3 {
+			color = -1
+		}
+		sub := c.Split(color, c.Rank())
+		if c.Rank() == 3 {
+			if sub != nil {
+				return fmt.Errorf("opted-out rank got a communicator")
+			}
+			return nil
+		}
+		if sub.Size() != 3 {
+			return fmt.Errorf("sub size = %d, want 3", sub.Size())
+		}
+		sub.Barrier()
+		return nil
+	})
+}
+
+func TestSplitIsolatesContexts(t *testing.T) {
+	// Messages on a sub-communicator must not be visible to the parent.
+	run(t, 4, func(c *Comm) error {
+		sub := c.Split(c.Rank()/2, c.Rank())
+		if sub.Rank() == 0 {
+			sub.Send(1, 0, []float64{float64(c.Rank())})
+		} else {
+			d, _, _ := sub.Recv(0, 0)
+			want := float64(c.Rank() - 1)
+			if d[0] != want {
+				return fmt.Errorf("cross-context leak: got %v, want %v", d, want)
+			}
+		}
+		return nil
+	})
+}
+
+func TestDupSeparatesTraffic(t *testing.T) {
+	run(t, 2, func(c *Comm) error {
+		dup := c.Dup()
+		if c.Rank() == 0 {
+			c.Send(1, 0, []float64{1})
+			dup.Send(1, 0, []float64{2})
+		} else {
+			d2, _, _ := dup.Recv(0, 0)
+			d1, _, _ := c.Recv(0, 0)
+			if d1[0] != 1 || d2[0] != 2 {
+				return fmt.Errorf("dup traffic mixed: %v %v", d1, d2)
+			}
+		}
+		return nil
+	})
+}
+
+func TestTranslate(t *testing.T) {
+	run(t, 6, func(c *Comm) error {
+		sub := c.Split(c.Rank()%2, c.Rank())
+		// sub rank 0 of even group is world rank 0.
+		if c.Rank()%2 == 0 {
+			if got := c.Translate(sub, 0); got != 0 {
+				return fmt.Errorf("translate sub 0 -> world %d, want 0", got)
+			}
+		} else {
+			if got := c.Translate(sub, 1); got != 3 {
+				return fmt.Errorf("translate odd-sub 1 -> world %d, want 3", got)
+			}
+		}
+		return nil
+	})
+}
+
+func TestNestedSplit(t *testing.T) {
+	run(t, 8, func(c *Comm) error {
+		half := c.Split(c.Rank()/4, c.Rank())
+		quarter := half.Split(half.Rank()/2, half.Rank())
+		if quarter.Size() != 2 {
+			return fmt.Errorf("nested split size = %d, want 2", quarter.Size())
+		}
+		sum := quarter.AllreduceScalar(float64(c.Rank()), Sum)
+		// Partners are consecutive world ranks 2k,2k+1.
+		base := (c.Rank() / 2) * 2
+		if sum != float64(base+base+1) {
+			return fmt.Errorf("nested split wrong members: sum %v", sum)
+		}
+		return nil
+	})
+}
+
+func TestIsendIrecvWaitAll(t *testing.T) {
+	run(t, 3, func(c *Comm) error {
+		p := c.Size()
+		next, prev := (c.Rank()+1)%p, (c.Rank()-1+p)%p
+		s := c.Isend(next, 1, []float64{float64(c.Rank())})
+		r := c.Irecv(prev, 1)
+		WaitAll(s, r, nil)
+		if got := r.Wait(); got[0] != float64(prev) {
+			return fmt.Errorf("irecv got %v, want %d", got, prev)
+		}
+		return nil
+	})
+}
+
+func TestHaloExchange(t *testing.T) {
+	run(t, 4, func(c *Comm) error {
+		p := c.Size()
+		nbs := []int{(c.Rank() + 1) % p, (c.Rank() - 1 + p) % p}
+		bufs := [][]float64{{float64(c.Rank())}, {float64(c.Rank())}}
+		got := c.HaloExchange(2, nbs, bufs)
+		if got[0][0] != float64(nbs[0]) || got[1][0] != float64(nbs[1]) {
+			return fmt.Errorf("halo exchange got %v", got)
+		}
+		return nil
+	})
+}
+
+func TestHaloExchangeMismatchPanics(t *testing.T) {
+	_, err := Run(2, testCfg(), func(c *Comm) error {
+		c.HaloExchange(0, []int{0}, nil)
+		return nil
+	})
+	if err == nil {
+		t.Fatal("mismatched halo exchange did not fail")
+	}
+}
+
+func TestReduceMaxMinVector(t *testing.T) {
+	run(t, 4, func(c *Comm) error {
+		got := c.Allreduce([]float64{float64(c.Rank()), float64(-c.Rank())}, Max)
+		if got[0] != 3 || got[1] != 0 {
+			return fmt.Errorf("vector max = %v", got)
+		}
+		got = c.Allreduce([]float64{float64(c.Rank())}, Min)
+		if got[0] != 0 {
+			return fmt.Errorf("vector min = %v", got)
+		}
+		return nil
+	})
+}
+
+func TestBcastPreservesValuesAcrossVirtualTimeSkew(t *testing.T) {
+	// Ranks start with very different clocks; bcast must still deliver and
+	// leave every clock at least at the root's send time.
+	run(t, 6, func(c *Comm) error {
+		c.ComputeSeconds(float64(c.Rank()) * 0.1)
+		out := c.Bcast(5, []float64{9})
+		if out[0] != 9 {
+			return fmt.Errorf("bcast value lost")
+		}
+		if c.Clock() < 0.5-1e-9 {
+			return fmt.Errorf("clock %v below root's send time", c.Clock())
+		}
+		return nil
+	})
+}
+
+func TestAllreduceAssociativityProperty(t *testing.T) {
+	// Sum over ranks must equal the analytic total regardless of p.
+	for p := 1; p <= 17; p += 4 {
+		pp := p
+		run(t, p, func(c *Comm) error {
+			x := math.Sqrt(float64(c.Rank() + 1))
+			got := c.AllreduceScalar(x, Sum)
+			want := 0.0
+			for i := 1; i <= pp; i++ {
+				want += math.Sqrt(float64(i))
+			}
+			if math.Abs(got-want) > 1e-9 {
+				return fmt.Errorf("p=%d sum=%v want %v", pp, got, want)
+			}
+			return nil
+		})
+	}
+}

@@ -1,0 +1,639 @@
+// Package mpi is an in-process, virtual-time message-passing runtime with
+// MPI-like semantics. It stands in for the MPI library the paper's
+// mini-apps use on ARCHER2 (see DESIGN.md §2): ranks run as goroutines,
+// point-to-point messages and collectives move real data, and every rank
+// carries a logical clock that advances through modelled compute time and
+// through message causality.
+//
+// Timing model (conservative logical-clock PDES):
+//
+//   - Comm.Compute charges cluster-modelled seconds to the rank clock.
+//   - Send charges the sender a per-message CPU overhead; the message is
+//     stamped with a virtual arrival time = departure + network delay from
+//     the cluster model (Hockney alpha-beta with intra/inter-node terms).
+//   - Recv blocks (in host time) until a matching message exists, then
+//     advances the rank clock to max(clock, arrival) + receive overhead.
+//     The jump is accounted as communication/wait time.
+//
+// The simulated run-time of a program is the maximum rank clock at exit.
+// Sends are eager and buffered (no rendezvous), so any communication
+// pattern that is deadlock-free under buffered MPI semantics is
+// deadlock-free here. Matching is FIFO per (communicator, source, tag),
+// which preserves MPI's non-overtaking rule.
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"cpx/internal/cluster"
+	"cpx/internal/trace"
+)
+
+// Reserved tag used internally by collective operations. User code must
+// use tags in [0, TagUser).
+const (
+	tagCollective = 1 << 28
+	// TagUser is the exclusive upper bound for user-supplied tags.
+	TagUser = tagCollective
+)
+
+// AnyTag matches a message with any tag in Recv.
+const AnyTag = -1
+
+// AnySource matches a message from any source rank in Recv.
+const AnySource = -1
+
+// message is an in-flight point-to-point message.
+type message struct {
+	ctx     int     // communicator context id
+	src     int     // source rank within the communicator
+	tag     int     // message tag
+	payload any     // []float64, []int or []byte (a private copy)
+	bytes   int     // payload size used for network cost
+	arrival float64 // virtual time the message reaches the receiver
+}
+
+// mailbox is the per-rank incoming message queue.
+type mailbox struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	msgs []*message
+}
+
+func newMailbox() *mailbox {
+	b := &mailbox{}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *mailbox) put(m *message) {
+	b.mu.Lock()
+	b.msgs = append(b.msgs, m)
+	b.mu.Unlock()
+	b.cond.Broadcast()
+}
+
+// take removes and returns the first message matching (ctx, src, tag),
+// blocking until one is available or the world aborts.
+func (b *mailbox) take(w *World, ctx, src, tag int) *message {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for {
+		for i, m := range b.msgs {
+			if m.ctx != ctx {
+				continue
+			}
+			if src != AnySource && m.src != src {
+				continue
+			}
+			if tag != AnyTag && m.tag != tag {
+				continue
+			}
+			b.msgs = append(b.msgs[:i], b.msgs[i+1:]...)
+			return m
+		}
+		if w.aborted() {
+			panic(errAborted)
+		}
+		b.cond.Wait()
+	}
+}
+
+var errAborted = errors.New("mpi: world aborted due to failure on another rank")
+
+// World holds the shared state of one simulated job.
+type World struct {
+	size    int
+	machine *cluster.Machine
+	boxes   []*mailbox
+	procs   []*proc
+
+	ctxMu   sync.Mutex
+	ctxs    map[ctxKey]int
+	nextCtx int
+
+	abortMu sync.Mutex
+	abort   bool
+}
+
+type ctxKey struct {
+	parent, gen, color int
+}
+
+func (w *World) aborted() bool {
+	w.abortMu.Lock()
+	defer w.abortMu.Unlock()
+	return w.abort
+}
+
+func (w *World) setAborted() {
+	w.abortMu.Lock()
+	w.abort = true
+	w.abortMu.Unlock()
+	for _, b := range w.boxes {
+		b.cond.Broadcast()
+	}
+}
+
+// contextFor deterministically assigns a fresh context id for a split,
+// identified by (parent ctx, per-comm split generation, color). All member
+// ranks look up the same key and receive the same id.
+func (w *World) contextFor(parent, gen, color int) int {
+	w.ctxMu.Lock()
+	defer w.ctxMu.Unlock()
+	k := ctxKey{parent, gen, color}
+	if id, ok := w.ctxs[k]; ok {
+		return id
+	}
+	w.nextCtx++
+	w.ctxs[k] = w.nextCtx
+	return w.nextCtx
+}
+
+// proc is the per-rank virtual-time state, shared by every communicator
+// the rank belongs to.
+type proc struct {
+	worldRank int
+	clock     float64
+	compute   float64
+	comm      float64
+	profile   *trace.Profile
+}
+
+func (p *proc) chargeCompute(s float64) {
+	p.clock += s
+	p.compute += s
+	if p.profile != nil {
+		p.profile.AddCompute(s)
+	}
+}
+
+func (p *proc) chargeComm(s float64) {
+	p.clock += s
+	p.comm += s
+	if p.profile != nil {
+		p.profile.AddComm(s)
+	}
+}
+
+// Comm is a communicator: a group of ranks with a private message-matching
+// context. The world communicator covers all ranks; Split derives subsets.
+type Comm struct {
+	world *World
+	proc  *proc
+	ctx   int
+	rank  int   // rank within this communicator
+	group []int // group[i] = world rank of communicator rank i; nil = identity/range
+	// Contiguous-range groups (RangeComm): world rank = base + rank,
+	// with `size` members. Used instead of `group` so huge communicators
+	// need O(1) memory per rank. base=0,size=0 with nil group means the
+	// world communicator.
+	base     int
+	size     int
+	splitGen int // number of Splits performed on this comm (for ctx derivation)
+}
+
+// Rank returns the caller's rank within the communicator.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks in the communicator.
+func (c *Comm) Size() int {
+	if c.group != nil {
+		return len(c.group)
+	}
+	if c.size > 0 {
+		return c.size
+	}
+	return c.world.size
+}
+
+// WorldRank returns the caller's rank in the world communicator.
+func (c *Comm) WorldRank() int { return c.proc.worldRank }
+
+// worldRankOf maps a communicator rank to its world rank.
+func (c *Comm) worldRankOf(r int) int {
+	if c.group != nil {
+		return c.group[r]
+	}
+	return c.base + r
+}
+
+// Machine returns the cluster model the world runs on.
+func (c *Comm) Machine() *cluster.Machine { return c.world.machine }
+
+// Clock returns the caller's current virtual time in seconds.
+func (c *Comm) Clock() float64 { return c.proc.clock }
+
+// Profile returns the rank's trace profile (may be nil if profiling is off).
+func (c *Comm) Profile() *trace.Profile { return c.proc.profile }
+
+// Compute charges the virtual cost of the described work to the rank clock.
+func (c *Comm) Compute(w cluster.Work) { c.proc.chargeCompute(c.world.machine.ComputeTime(w)) }
+
+// ComputeSeconds charges s virtual seconds of computation directly.
+func (c *Comm) ComputeSeconds(s float64) {
+	if s < 0 {
+		panic("mpi: negative compute time")
+	}
+	c.proc.chargeCompute(s)
+}
+
+// ComputeTime returns the rank's accumulated virtual compute seconds.
+func (c *Comm) ComputeTime() float64 { return c.proc.compute }
+
+// CommTime returns the rank's accumulated virtual communication seconds.
+func (c *Comm) CommTime() float64 { return c.proc.comm }
+
+// StretchSince multiplies the virtual time accrued since the given marks
+// by `factor`, preserving the compute/communication split. Used by
+// representative sub-stepping: a few executed micro-steps stand in for a
+// much longer block whose cost is charged at the measured per-step rate
+// (DESIGN.md §5.2).
+func (c *Comm) StretchSince(computeMark, commMark, factor float64) {
+	if factor < 1 {
+		panic("mpi: StretchSince factor must be >= 1")
+	}
+	dComp := (c.proc.compute - computeMark) * (factor - 1)
+	dComm := (c.proc.comm - commMark) * (factor - 1)
+	if dComp < 0 || dComm < 0 {
+		panic("mpi: StretchSince marks are in the future")
+	}
+	c.proc.chargeCompute(dComp)
+	c.proc.chargeComm(dComm)
+}
+
+// ChargeCommSeconds charges s virtual seconds of communication time
+// directly. Used where a dense communication schedule's per-message CPU
+// overheads are charged analytically while only the non-empty payloads
+// travel as real messages (e.g. the spray alltoallv; DESIGN.md §5.2).
+func (c *Comm) ChargeCommSeconds(s float64) {
+	if s < 0 {
+		panic("mpi: negative comm time")
+	}
+	c.proc.chargeComm(s)
+}
+
+// payloadBytes reports the wire size of a supported payload.
+func payloadBytes(data any) int {
+	switch d := data.(type) {
+	case []float64:
+		return 8 * len(d)
+	case []int:
+		return 8 * len(d)
+	case []byte:
+		return len(d)
+	case nil:
+		return 0
+	default:
+		panic(fmt.Sprintf("mpi: unsupported payload type %T", data))
+	}
+}
+
+// clonePayload copies the payload so sender and receiver never alias.
+func clonePayload(data any) any {
+	switch d := data.(type) {
+	case []float64:
+		out := make([]float64, len(d))
+		copy(out, d)
+		return out
+	case []int:
+		out := make([]int, len(d))
+		copy(out, d)
+		return out
+	case []byte:
+		out := make([]byte, len(d))
+		copy(out, d)
+		return out
+	case nil:
+		return nil
+	default:
+		panic(fmt.Sprintf("mpi: unsupported payload type %T", data))
+	}
+}
+
+func (c *Comm) checkPeer(r int, op string) {
+	if r < 0 || r >= c.Size() {
+		panic(fmt.Sprintf("mpi: %s: rank %d out of range [0,%d)", op, r, c.Size()))
+	}
+}
+
+// sendRaw performs an eager buffered send with virtual-time stamping.
+func (c *Comm) sendRaw(to, tag int, data any) {
+	c.checkPeer(to, "Send")
+	m := c.world.machine
+	bytes := payloadBytes(data)
+	c.proc.chargeComm(m.SendOverhead)
+	departure := c.proc.clock
+	srcWorld := c.proc.worldRank
+	dstWorld := c.worldRankOf(to)
+	arrival := departure + m.TransferTime(srcWorld, dstWorld, bytes)
+	c.world.boxes[dstWorld].put(&message{
+		ctx: c.ctx, src: c.rank, tag: tag,
+		payload: clonePayload(data), bytes: bytes, arrival: arrival,
+	})
+}
+
+// recvRaw blocks for a matching message and advances the virtual clock.
+func (c *Comm) recvRaw(from, tag int) *message {
+	if from != AnySource {
+		c.checkPeer(from, "Recv")
+	}
+	msg := c.world.boxes[c.proc.worldRank].take(c.world, c.ctx, from, tag)
+	if msg.arrival > c.proc.clock {
+		// The jump to the arrival time is time this rank spent waiting.
+		wait := msg.arrival - c.proc.clock
+		c.proc.clock = msg.arrival
+		c.proc.comm += wait
+		if c.proc.profile != nil {
+			c.proc.profile.AddComm(wait)
+		}
+	}
+	c.proc.chargeComm(c.world.machine.RecvOverhead)
+	return msg
+}
+
+// Send transmits a []float64 to rank `to` with the given tag.
+func (c *Comm) Send(to, tag int, data []float64) { c.sendRaw(to, tag, data) }
+
+// RecvAll receives n messages of the given tag from any sources, as if
+// posted as n receives completed by one MPI_Waitall: the virtual clock
+// advances to the latest arrival plus the per-message overheads, so the
+// result is independent of host-side delivery order. Returns payloads
+// sorted by source rank (ties by arrival), with sources aligned.
+func (c *Comm) RecvAll(n, tag int) (data [][]float64, sources []int) {
+	type got struct {
+		src     int
+		arrival float64
+		payload []float64
+	}
+	msgs := make([]got, 0, n)
+	maxArrival := c.proc.clock
+	for i := 0; i < n; i++ {
+		m := c.world.boxes[c.proc.worldRank].take(c.world, c.ctx, AnySource, tag)
+		d, ok := m.payload.([]float64)
+		if !ok && m.payload != nil {
+			panic(fmt.Sprintf("mpi: RecvAll type mismatch: got %T, want []float64", m.payload))
+		}
+		msgs = append(msgs, got{m.src, m.arrival, d})
+		if m.arrival > maxArrival {
+			maxArrival = m.arrival
+		}
+	}
+	if wait := maxArrival - c.proc.clock; wait > 0 {
+		c.proc.clock = maxArrival
+		c.proc.comm += wait
+		if c.proc.profile != nil {
+			c.proc.profile.AddComm(wait)
+		}
+	}
+	c.proc.chargeComm(float64(n) * c.world.machine.RecvOverhead)
+	sort.Slice(msgs, func(a, b int) bool {
+		if msgs[a].src != msgs[b].src {
+			return msgs[a].src < msgs[b].src
+		}
+		return msgs[a].arrival < msgs[b].arrival
+	})
+	data = make([][]float64, n)
+	sources = make([]int, n)
+	for i, m := range msgs {
+		data[i] = m.payload
+		sources[i] = m.src
+	}
+	return data, sources
+}
+
+// SendVirtual transmits data but charges the network cost of
+// virtualBytes instead of the payload's real size. Mini-apps running
+// scaled-down working sets use it so message costs reflect the true
+// problem size (DESIGN.md §5.2).
+func (c *Comm) SendVirtual(to, tag int, data []float64, virtualBytes int) {
+	c.checkPeer(to, "SendVirtual")
+	m := c.world.machine
+	c.proc.chargeComm(m.SendOverhead)
+	departure := c.proc.clock
+	srcWorld := c.proc.worldRank
+	dstWorld := c.worldRankOf(to)
+	arrival := departure + m.TransferTime(srcWorld, dstWorld, virtualBytes)
+	c.world.boxes[dstWorld].put(&message{
+		ctx: c.ctx, src: c.rank, tag: tag,
+		payload: clonePayload(data), bytes: virtualBytes, arrival: arrival,
+	})
+}
+
+// Recv receives a []float64 from rank `from` (or AnySource) with the given
+// tag (or AnyTag). It returns the payload, its source rank and tag.
+func (c *Comm) Recv(from, tag int) ([]float64, int, int) {
+	m := c.recvRaw(from, tag)
+	d, ok := m.payload.([]float64)
+	if !ok && m.payload != nil {
+		panic(fmt.Sprintf("mpi: Recv type mismatch: got %T, want []float64", m.payload))
+	}
+	return d, m.src, m.tag
+}
+
+// SendInts transmits a []int.
+func (c *Comm) SendInts(to, tag int, data []int) { c.sendRaw(to, tag, data) }
+
+// RecvInts receives a []int.
+func (c *Comm) RecvInts(from, tag int) ([]int, int, int) {
+	m := c.recvRaw(from, tag)
+	d, ok := m.payload.([]int)
+	if !ok && m.payload != nil {
+		panic(fmt.Sprintf("mpi: RecvInts type mismatch: got %T, want []int", m.payload))
+	}
+	return d, m.src, m.tag
+}
+
+// SendBytes transmits a raw []byte.
+func (c *Comm) SendBytes(to, tag int, data []byte) { c.sendRaw(to, tag, data) }
+
+// RecvBytes receives a raw []byte.
+func (c *Comm) RecvBytes(from, tag int) ([]byte, int, int) {
+	m := c.recvRaw(from, tag)
+	d, ok := m.payload.([]byte)
+	if !ok && m.payload != nil {
+		panic(fmt.Sprintf("mpi: RecvBytes type mismatch: got %T, want []byte", m.payload))
+	}
+	return d, m.src, m.tag
+}
+
+// SendRecv sends to `to` and receives from `from` in one step, the staple
+// of halo exchanges. Because sends are eager this cannot deadlock.
+func (c *Comm) SendRecv(to, sendTag int, send []float64, from, recvTag int) []float64 {
+	c.Send(to, sendTag, send)
+	data, _, _ := c.Recv(from, recvTag)
+	return data
+}
+
+// Stats summarises a completed run.
+type Stats struct {
+	Ranks    int
+	Elapsed  float64 // simulated run-time: the maximum rank clock
+	Clocks   []float64
+	Compute  []float64 // per-rank virtual compute seconds
+	Comm     []float64 // per-rank virtual communication+wait seconds
+	Profiles []*trace.Profile
+}
+
+// MaxCompute returns the largest per-rank compute time.
+func (s *Stats) MaxCompute() float64 { return maxOf(s.Compute) }
+
+// AvgCompute returns the mean per-rank compute time.
+func (s *Stats) AvgCompute() float64 { return sumOf(s.Compute) / float64(s.Ranks) }
+
+// AvgComm returns the mean per-rank communication time.
+func (s *Stats) AvgComm() float64 { return sumOf(s.Comm) / float64(s.Ranks) }
+
+// CommFraction is the mean fraction of run-time spent communicating.
+func (s *Stats) CommFraction() float64 {
+	if s.Elapsed <= 0 {
+		return 0
+	}
+	return s.AvgComm() / s.Elapsed
+}
+
+// MergedProfile aggregates all rank profiles (nil if profiling was off).
+func (s *Stats) MergedProfile() *trace.Profile {
+	if len(s.Profiles) == 0 || s.Profiles[0] == nil {
+		return nil
+	}
+	return trace.MergeAll(s.Profiles)
+}
+
+func maxOf(xs []float64) float64 {
+	m := 0.0
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+func sumOf(xs []float64) float64 {
+	t := 0.0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+// Config controls a Run.
+type Config struct {
+	// Machine is the cluster model; defaults to cluster.ARCHER2().
+	Machine *cluster.Machine
+	// Profile enables per-rank trace profiles.
+	Profile bool
+	// Watchdog aborts the run if it exceeds this much *host* time,
+	// catching deadlocked communication patterns in tests. Defaults to
+	// 120 s; negative disables.
+	Watchdog time.Duration
+}
+
+// Run executes fn on `size` simulated ranks and returns timing statistics.
+// Any rank returning an error or panicking aborts the whole world; the
+// first failure is reported.
+func Run(size int, cfg Config, fn func(*Comm) error) (*Stats, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("mpi: size must be positive, got %d", size)
+	}
+	m := cfg.Machine
+	if m == nil {
+		m = cluster.ARCHER2()
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	w := &World{
+		size:    size,
+		machine: m,
+		boxes:   make([]*mailbox, size),
+		procs:   make([]*proc, size),
+		ctxs:    make(map[ctxKey]int),
+	}
+	for i := range w.boxes {
+		w.boxes[i] = newMailbox()
+		w.procs[i] = &proc{worldRank: i}
+		if cfg.Profile {
+			w.procs[i].profile = trace.NewProfile()
+		}
+	}
+
+	watchdog := cfg.Watchdog
+	if watchdog == 0 {
+		watchdog = 120 * time.Second
+	}
+	done := make(chan struct{})
+	if watchdog > 0 {
+		t := time.AfterFunc(watchdog, func() {
+			select {
+			case <-done:
+			default:
+				panic(fmt.Sprintf("mpi: watchdog: run of %d ranks exceeded %v host time (deadlock?)", size, watchdog))
+			}
+		})
+		defer t.Stop()
+	}
+
+	errs := make([]error, size)
+	var wg sync.WaitGroup
+	for r := 0; r < size; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if rec := recover(); rec != nil {
+					if rec == errAborted {
+						errs[rank] = errAborted
+					} else {
+						errs[rank] = fmt.Errorf("mpi: rank %d panicked: %v", rank, rec)
+					}
+					w.setAborted()
+				}
+			}()
+			comm := &Comm{world: w, proc: w.procs[rank], ctx: 0, rank: rank}
+			if err := fn(comm); err != nil {
+				errs[rank] = fmt.Errorf("mpi: rank %d: %w", rank, err)
+				w.setAborted()
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(done)
+
+	var firstErr error
+	for _, e := range errs {
+		if e != nil && !errors.Is(e, errAborted) {
+			firstErr = e
+			break
+		}
+	}
+	if firstErr == nil && w.aborted() {
+		firstErr = errAborted
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	st := &Stats{
+		Ranks:    size,
+		Clocks:   make([]float64, size),
+		Compute:  make([]float64, size),
+		Comm:     make([]float64, size),
+		Profiles: make([]*trace.Profile, size),
+	}
+	for i, p := range w.procs {
+		st.Clocks[i] = p.clock
+		st.Compute[i] = p.compute
+		st.Comm[i] = p.comm
+		st.Profiles[i] = p.profile
+		if p.clock > st.Elapsed {
+			st.Elapsed = p.clock
+		}
+	}
+	return st, nil
+}

@@ -1,0 +1,194 @@
+package mpi
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Split partitions the communicator into disjoint sub-communicators, one
+// per distinct color, exactly as MPI_Comm_split: ranks passing the same
+// color land in the same new communicator, ordered by (key, old rank).
+// A negative color returns nil (the rank opts out), mirroring
+// MPI_UNDEFINED. Split is collective: every rank of c must call it.
+func (c *Comm) Split(color, key int) *Comm {
+	// Exchange (color, key) triples; everyone derives the same grouping.
+	all := c.AllgatherInts([]int{color, key})
+	type member struct{ color, key, rank int }
+	members := make([]member, 0, len(all))
+	colorSet := map[int]bool{}
+	for r, ck := range all {
+		if ck[0] >= 0 {
+			members = append(members, member{ck[0], ck[1], r})
+			colorSet[ck[0]] = true
+		}
+	}
+	c.splitGen++
+	if color < 0 {
+		return nil
+	}
+	// Deterministic color index for context derivation.
+	colors := make([]int, 0, len(colorSet))
+	for col := range colorSet {
+		colors = append(colors, col)
+	}
+	sort.Ints(colors)
+	colorIdx := sort.SearchInts(colors, color)
+
+	group := make([]member, 0)
+	for _, mb := range members {
+		if mb.color == color {
+			group = append(group, mb)
+		}
+	}
+	sort.Slice(group, func(i, j int) bool {
+		if group[i].key != group[j].key {
+			return group[i].key < group[j].key
+		}
+		return group[i].rank < group[j].rank
+	})
+	worldGroup := make([]int, len(group))
+	myNewRank := -1
+	for i, mb := range group {
+		worldGroup[i] = c.worldRankOf(mb.rank)
+		if mb.rank == c.rank {
+			myNewRank = i
+		}
+	}
+	if myNewRank < 0 {
+		panic("mpi: Split internal error: caller missing from its own group")
+	}
+	ctx := c.world.contextFor(c.ctx, c.splitGen, colorIdx)
+	return &Comm{
+		world: c.world,
+		proc:  c.proc,
+		ctx:   ctx,
+		rank:  myNewRank,
+		group: worldGroup,
+	}
+}
+
+// Dup returns a communicator with the same group but a private matching
+// context, like MPI_Comm_dup. Collective over c.
+func (c *Comm) Dup() *Comm { return c.Split(0, c.rank) }
+
+// RangeComm returns a communicator over the contiguous world ranks
+// [base, base+size) without any communication, like
+// MPI_Comm_create_group over a range. Every member must call it with the
+// same groupID (>= 0) and range; groupIDs must be unique per distinct
+// group within a run and are kept disjoint from Split-derived contexts.
+// The caller must be a member. The contiguous representation needs O(1)
+// memory per rank, which matters at the paper's 40,000-rank scale.
+func (c *Comm) RangeComm(groupID, base, size int) *Comm {
+	if c.group != nil || c.base != 0 {
+		panic("mpi: RangeComm must be called on the world communicator")
+	}
+	w := c.proc.worldRank
+	if w < base || w >= base+size {
+		panic(fmt.Sprintf("mpi: RangeComm caller %d outside [%d,%d)", w, base, base+size))
+	}
+	if groupID < 0 {
+		panic("mpi: RangeComm groupID must be non-negative")
+	}
+	return &Comm{
+		world: c.world,
+		proc:  c.proc,
+		ctx:   -(1 + groupID), // negative context space, disjoint from Split's
+		rank:  w - base,
+		base:  base,
+		size:  size,
+	}
+}
+
+// Translate maps a rank of comm `other` to the corresponding rank in c,
+// or -1 if the process is not a member of c. Both communicators must
+// belong to the same world.
+func (c *Comm) Translate(other *Comm, rank int) int {
+	w := other.worldRankOf(rank)
+	if c.group != nil {
+		for i, g := range c.group {
+			if g == w {
+				return i
+			}
+		}
+		return -1
+	}
+	if c.size > 0 { // contiguous range
+		if w >= c.base && w < c.base+c.size {
+			return w - c.base
+		}
+		return -1
+	}
+	if w < c.world.size {
+		return w
+	}
+	return -1
+}
+
+// Request represents a pending non-blocking operation.
+type Request struct {
+	comm *Comm
+	// For receives:
+	isRecv bool
+	from   int
+	tag    int
+	// Completed payload (for receives after Wait).
+	data []float64
+	done bool
+}
+
+// Isend starts a non-blocking send. Because the runtime's sends are eager
+// and buffered, the operation completes immediately; the returned request
+// exists so call sites mirror real MPI halo-exchange structure.
+func (c *Comm) Isend(to, tag int, data []float64) *Request {
+	c.Send(to, tag, data)
+	return &Request{comm: c, done: true}
+}
+
+// Irecv posts a non-blocking receive, matched and completed at Wait time.
+func (c *Comm) Irecv(from, tag int) *Request {
+	return &Request{comm: c, isRecv: true, from: from, tag: tag}
+}
+
+// Wait completes the request, returning the received payload for receives
+// (nil for sends).
+func (r *Request) Wait() []float64 {
+	if r.done {
+		return r.data
+	}
+	r.done = true
+	if r.isRecv {
+		r.data, _, _ = r.comm.Recv(r.from, r.tag)
+	}
+	return r.data
+}
+
+// WaitAll completes all requests. The caller's virtual clock ends at the
+// max arrival over all receives, as with MPI_Waitall.
+func WaitAll(reqs ...*Request) {
+	for _, r := range reqs {
+		if r != nil {
+			r.Wait()
+		}
+	}
+}
+
+// HaloExchange performs the standard neighbour exchange: for each
+// neighbour i, send sendBufs[i] and receive that neighbour's buffer.
+// neighbours lists peer ranks in c; returns received data per neighbour
+// index. Tags are derived from `tag` so multiple exchanges can be in
+// flight on distinct tags.
+func (c *Comm) HaloExchange(tag int, neighbours []int, sendBufs [][]float64) [][]float64 {
+	if len(neighbours) != len(sendBufs) {
+		panic(fmt.Sprintf("mpi: HaloExchange: %d neighbours but %d buffers", len(neighbours), len(sendBufs)))
+	}
+	reqs := make([]*Request, len(neighbours))
+	for i, nb := range neighbours {
+		c.Send(nb, tag, sendBufs[i])
+		reqs[i] = c.Irecv(nb, tag)
+	}
+	out := make([][]float64, len(neighbours))
+	for i, r := range reqs {
+		out[i] = r.Wait()
+	}
+	return out
+}

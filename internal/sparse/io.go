@@ -1,0 +1,115 @@
+package sparse
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteMatrixMarket serialises the matrix in MatrixMarket coordinate
+// format (the lingua franca for sparse-solver test matrices), so
+// operators built here can be exchanged with external AMG/solver tools
+// and vice versa.
+func (a *CSR) WriteMatrixMarket(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%%%%MatrixMarket matrix coordinate real general\n"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(bw, "%d %d %d\n", a.Rows, a.Cols, a.NNZ()); err != nil {
+		return err
+	}
+	for i := 0; i < a.Rows; i++ {
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			// MatrixMarket is 1-indexed.
+			if _, err := fmt.Fprintf(bw, "%d %d %.17g\n", i+1, a.ColIdx[k]+1, a.Val[k]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadMatrixMarket parses a MatrixMarket coordinate-format matrix.
+// Supports the "general" and "symmetric" qualifiers (symmetric entries
+// are mirrored); pattern and complex fields are rejected.
+func ReadMatrixMarket(r io.Reader) (*CSR, error) {
+	br := bufio.NewReader(r)
+	header, err := br.ReadString('\n')
+	if err != nil {
+		return nil, fmt.Errorf("sparse: reading MatrixMarket header: %w", err)
+	}
+	fields := strings.Fields(strings.ToLower(header))
+	if len(fields) < 4 || fields[0] != "%%matrixmarket" || fields[1] != "matrix" || fields[2] != "coordinate" {
+		return nil, fmt.Errorf("sparse: unsupported MatrixMarket header %q", strings.TrimSpace(header))
+	}
+	if fields[3] != "real" && fields[3] != "integer" {
+		return nil, fmt.Errorf("sparse: unsupported MatrixMarket field type %q", fields[3])
+	}
+	symmetric := false
+	if len(fields) >= 5 {
+		switch fields[4] {
+		case "general":
+		case "symmetric":
+			symmetric = true
+		default:
+			return nil, fmt.Errorf("sparse: unsupported MatrixMarket symmetry %q", fields[4])
+		}
+	}
+	// Skip comments, read the size line.
+	var rows, cols, nnz int
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			return nil, fmt.Errorf("sparse: reading MatrixMarket size line: %w", err)
+		}
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		if _, err := fmt.Sscanf(line, "%d %d %d", &rows, &cols, &nnz); err != nil {
+			return nil, fmt.Errorf("sparse: bad MatrixMarket size line %q: %w", line, err)
+		}
+		break
+	}
+	if rows < 0 || cols < 0 || nnz < 0 {
+		return nil, fmt.Errorf("sparse: negative MatrixMarket dimensions %dx%d/%d", rows, cols, nnz)
+	}
+	ri := make([]int, 0, nnz)
+	ci := make([]int, 0, nnz)
+	v := make([]float64, 0, nnz)
+	read := 0
+	for read < nnz {
+		line, err := br.ReadString('\n')
+		if err != nil && err != io.EOF {
+			return nil, fmt.Errorf("sparse: reading MatrixMarket entries: %w", err)
+		}
+		trimmed := strings.TrimSpace(line)
+		if trimmed != "" && !strings.HasPrefix(trimmed, "%") {
+			var i, j int
+			var x float64
+			if _, serr := fmt.Sscanf(trimmed, "%d %d %g", &i, &j, &x); serr != nil {
+				return nil, fmt.Errorf("sparse: bad MatrixMarket entry %q: %w", trimmed, serr)
+			}
+			if i < 1 || i > rows || j < 1 || j > cols {
+				return nil, fmt.Errorf("sparse: MatrixMarket entry (%d,%d) out of %dx%d", i, j, rows, cols)
+			}
+			ri = append(ri, i-1)
+			ci = append(ci, j-1)
+			v = append(v, x)
+			if symmetric && i != j {
+				ri = append(ri, j-1)
+				ci = append(ci, i-1)
+				v = append(v, x)
+			}
+			read++
+		}
+		if err == io.EOF {
+			break
+		}
+	}
+	if read < nnz {
+		return nil, fmt.Errorf("sparse: MatrixMarket file truncated: %d of %d entries", read, nnz)
+	}
+	return FromCOO(rows, cols, ri, ci, v), nil
+}

@@ -1,0 +1,84 @@
+package sparse
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMatrixMarketRoundTrip(t *testing.T) {
+	a := Poisson2D(6, 5)
+	var buf strings.Builder
+	if err := a.WriteMatrixMarket(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadMatrixMarket(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.EqualWithin(back, 0) {
+		t.Error("round trip changed the matrix")
+	}
+}
+
+func TestMatrixMarketRandomRoundTrip(t *testing.T) {
+	a := randomCSR(17, 11, 0.25, 21)
+	var buf strings.Builder
+	if err := a.WriteMatrixMarket(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadMatrixMarket(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.EqualWithin(back, 1e-15) {
+		t.Error("random matrix round trip lost precision")
+	}
+}
+
+func TestMatrixMarketSymmetric(t *testing.T) {
+	mm := `%%MatrixMarket matrix coordinate real symmetric
+% lower triangle of a 3x3 SPD matrix
+3 3 4
+1 1 2.0
+2 1 -1.0
+2 2 2.0
+3 3 2.0
+`
+	a, err := ReadMatrixMarket(strings.NewReader(mm))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.At(0, 1) != -1 || a.At(1, 0) != -1 {
+		t.Error("symmetric entry not mirrored")
+	}
+	if a.At(0, 0) != 2 || a.NNZ() != 5 {
+		t.Errorf("parsed matrix wrong: nnz=%d", a.NNZ())
+	}
+}
+
+func TestMatrixMarketComments(t *testing.T) {
+	mm := "%%MatrixMarket matrix coordinate real general\n% comment\n\n2 2 1\n% another\n1 2 3.5\n"
+	a, err := ReadMatrixMarket(strings.NewReader(mm))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.At(0, 1) != 3.5 {
+		t.Errorf("entry = %v", a.At(0, 1))
+	}
+}
+
+func TestMatrixMarketRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"not a matrix\n",
+		"%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n",
+		"%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 0\n",
+		"%%MatrixMarket matrix coordinate real hermitian\n1 1 1\n1 1 1\n",
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\n5 5 1.0\n", // out of range
+		"%%MatrixMarket matrix coordinate real general\n2 2 3\n1 1 1.0\n", // truncated
+	}
+	for i, mm := range cases {
+		if _, err := ReadMatrixMarket(strings.NewReader(mm)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}

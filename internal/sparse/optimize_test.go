@@ -1,0 +1,208 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRenumberSortBasic(t *testing.T) {
+	locals, globals := RenumberSort([]int{50, 10, 50, 30, 10})
+	wantGlobals := []int{10, 30, 50}
+	for i, g := range wantGlobals {
+		if globals[i] != g {
+			t.Fatalf("globals = %v, want %v", globals, wantGlobals)
+		}
+	}
+	wantLocals := []int{2, 0, 2, 1, 0}
+	for i, l := range wantLocals {
+		if locals[i] != l {
+			t.Fatalf("locals = %v, want %v", locals, wantLocals)
+		}
+	}
+}
+
+func TestRenumberEmpty(t *testing.T) {
+	l1, g1 := RenumberSort(nil)
+	l2, g2 := RenumberHashMerge(nil, 4)
+	if len(l1) != 0 || len(g1) != 0 || len(l2) != 0 || len(g2) != 0 {
+		t.Error("empty input should give empty outputs")
+	}
+}
+
+func TestRenumberVariantsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	cols := make([]int, 5000)
+	for i := range cols {
+		cols[i] = rng.Intn(800)
+	}
+	l1, g1 := RenumberSort(cols)
+	for _, workers := range []int{1, 2, 7, 16} {
+		l2, g2 := RenumberHashMerge(cols, workers)
+		if len(g1) != len(g2) {
+			t.Fatalf("workers=%d: distinct counts differ: %d vs %d", workers, len(g1), len(g2))
+		}
+		for i := range g1 {
+			if g1[i] != g2[i] {
+				t.Fatalf("workers=%d: globals differ at %d", workers, i)
+			}
+		}
+		for i := range l1 {
+			if l1[i] != l2[i] {
+				t.Fatalf("workers=%d: locals differ at %d", workers, i)
+			}
+		}
+	}
+}
+
+func TestRenumberRoundTripProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cols := make([]int, int(n)+1)
+		for i := range cols {
+			cols[i] = rng.Intn(64)
+		}
+		locals, globals := RenumberHashMerge(cols, 3)
+		// Round trip: globalOf[local[i]] == cols[i].
+		for i := range cols {
+			if globals[locals[i]] != cols[i] {
+				return false
+			}
+		}
+		// globals sorted strictly ascending.
+		for i := 1; i < len(globals); i++ {
+			if globals[i] <= globals[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMergeRuns(t *testing.T) {
+	got := mergeRuns([][]int{{1, 4, 9}, {2, 4}, {0, 9, 10}})
+	want := []int{0, 1, 2, 4, 9, 10}
+	if len(got) != len(want) {
+		t.Fatalf("mergeRuns = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("mergeRuns = %v, want %v", got, want)
+		}
+	}
+	if out := mergeRuns(nil); len(out) != 0 {
+		t.Error("mergeRuns(nil) not empty")
+	}
+}
+
+// interpolationMatrix builds a typical AMG P: coarse points are identity
+// rows, fine points interpolate from two coarse neighbours.
+func interpolationMatrix(fine int) *CSR {
+	var ri, ci []int
+	var v []float64
+	coarse := (fine + 1) / 2
+	for i := 0; i < fine; i++ {
+		if i%2 == 0 {
+			ri = append(ri, i)
+			ci = append(ci, i/2)
+			v = append(v, 1)
+		} else {
+			ri = append(ri, i)
+			ci = append(ci, i/2)
+			v = append(v, 0.5)
+			if i/2+1 < coarse {
+				ri = append(ri, i)
+				ci = append(ci, i/2+1)
+				v = append(v, 0.5)
+			}
+		}
+	}
+	return FromCOO(fine, coarse, ri, ci, v)
+}
+
+func TestIdentitySplitMatchesFullSpMV(t *testing.T) {
+	p := interpolationMatrix(11)
+	s := AnalyzeIdentity(p)
+	if len(s.IdRows) != 6 {
+		t.Errorf("identity rows = %d, want 6", len(s.IdRows))
+	}
+	x := make([]float64, p.Cols)
+	for i := range x {
+		x[i] = float64(i + 1)
+	}
+	y1 := make([]float64, p.Rows)
+	y2 := make([]float64, p.Rows)
+	p.MulVec(x, y1)
+	s.MulVec(x, y2)
+	for i := range y1 {
+		if y1[i] != y2[i] {
+			t.Fatalf("split SpMV differs at %d: %v vs %v", i, y1[i], y2[i])
+		}
+	}
+}
+
+func TestIdentitySplitSavesWork(t *testing.T) {
+	p := interpolationMatrix(101)
+	s := AnalyzeIdentity(p)
+	fFull, bFull := p.MulVecWork()
+	fSplit, bSplit := s.Work()
+	if !(fSplit < fFull) {
+		t.Errorf("split flops %v not below full %v", fSplit, fFull)
+	}
+	if !(bSplit < bFull) {
+		t.Errorf("split bytes %v not below full %v", bSplit, bFull)
+	}
+}
+
+func TestIdentitySplitNoIdentityRows(t *testing.T) {
+	a := randomCSR(6, 6, 0.5, 11)
+	for k := range a.Val {
+		a.Val[k] = 2.5 // no 1.0 single-entry rows
+	}
+	s := AnalyzeIdentity(a)
+	x := make([]float64, 6)
+	for i := range x {
+		x[i] = float64(i)
+	}
+	y1 := make([]float64, 6)
+	y2 := make([]float64, 6)
+	a.MulVec(x, y1)
+	s.MulVec(x, y2)
+	for i := range y1 {
+		if y1[i] != y2[i] {
+			t.Fatal("split without identity rows wrong")
+		}
+	}
+}
+
+func TestIdentitySplitProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		size := int(seed % 40)
+		if size < 0 {
+			size = -size
+		}
+		p := interpolationMatrix(size + 2)
+		s := AnalyzeIdentity(p)
+		rng := rand.New(rand.NewSource(seed))
+		x := make([]float64, p.Cols)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		y1 := make([]float64, p.Rows)
+		y2 := make([]float64, p.Rows)
+		p.MulVec(x, y1)
+		s.MulVec(x, y2)
+		for i := range y1 {
+			if y1[i] != y2[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,129 @@
+package sparse
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func denseMul(a, b *CSR) [][]float64 {
+	da, db := a.Dense(), b.Dense()
+	out := make([][]float64, a.Rows)
+	for i := range out {
+		out[i] = make([]float64, b.Cols)
+		for k := 0; k < a.Cols; k++ {
+			if da[i][k] == 0 {
+				continue
+			}
+			for j := 0; j < b.Cols; j++ {
+				out[i][j] += da[i][k] * db[k][j]
+			}
+		}
+	}
+	return out
+}
+
+func checkAgainstDense(t *testing.T, c *CSR, want [][]float64, label string) {
+	t.Helper()
+	if err := c.Validate(); err != nil {
+		t.Fatalf("%s: invalid output: %v", label, err)
+	}
+	for i := range want {
+		for j := range want[i] {
+			if math.Abs(c.At(i, j)-want[i][j]) > 1e-10 {
+				t.Fatalf("%s: C[%d,%d] = %v, want %v", label, i, j, c.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestSpGEMMAgainstDense(t *testing.T) {
+	a := randomCSR(13, 9, 0.3, 3)
+	b := randomCSR(9, 11, 0.3, 4)
+	want := denseMul(a, b)
+	checkAgainstDense(t, MulTwoPass(a, b), want, "two-pass")
+	checkAgainstDense(t, MulSPA(a, b, 1), want, "spa-1")
+	checkAgainstDense(t, MulSPA(a, b, 4), want, "spa-4")
+	checkAgainstDense(t, Mul(a, b), want, "default")
+}
+
+func TestSpGEMMIdentity(t *testing.T) {
+	a := randomCSR(10, 10, 0.3, 5)
+	if !MulTwoPass(a, Eye(10)).EqualWithin(a, 1e-14) {
+		t.Error("A*I != A (two-pass)")
+	}
+	if !MulSPA(Eye(10), a, 3).EqualWithin(a, 1e-14) {
+		t.Error("I*A != A (SPA)")
+	}
+}
+
+func TestSpGEMMDimensionMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("dimension mismatch accepted")
+		}
+	}()
+	MulTwoPass(Eye(3), Eye(4))
+}
+
+func TestSpGEMMEmptyRows(t *testing.T) {
+	// Matrix with entirely empty rows must survive both kernels.
+	a := FromCOO(4, 4, []int{0, 3}, []int{1, 2}, []float64{5, 7})
+	b := FromCOO(4, 4, []int{1, 2}, []int{0, 3}, []float64{2, 3})
+	want := denseMul(a, b)
+	checkAgainstDense(t, MulTwoPass(a, b), want, "two-pass empty")
+	checkAgainstDense(t, MulSPA(a, b, 8), want, "spa empty")
+}
+
+func TestSpGEMMVariantsAgreeProperty(t *testing.T) {
+	f := func(seed int64, wk uint8) bool {
+		workers := int(wk)%7 + 1
+		a := randomCSR(17, 12, 0.2, seed)
+		b := randomCSR(12, 15, 0.2, seed+100)
+		return MulTwoPass(a, b).EqualWithin(MulSPA(a, b, workers), 1e-10)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGalerkinTripleProduct(t *testing.T) {
+	// RAP with P = piecewise-constant aggregation of a 1-D Poisson matrix
+	// must stay symmetric positive and have the aggregated size.
+	a := Poisson1D(8)
+	// P: 8x4, two fine points per coarse point.
+	var ri, ci []int
+	var v []float64
+	for i := 0; i < 8; i++ {
+		ri = append(ri, i)
+		ci = append(ci, i/2)
+		v = append(v, 1)
+	}
+	p := FromCOO(8, 4, ri, ci, v)
+	rap := Mul(p.Transpose(), Mul(a, p))
+	if rap.Rows != 4 || rap.Cols != 4 {
+		t.Fatalf("RAP dims %dx%d", rap.Rows, rap.Cols)
+	}
+	if !rap.EqualWithin(rap.Transpose(), 1e-12) {
+		t.Error("RAP lost symmetry")
+	}
+	// Aggregated tridiagonal: diag 2, off-diag -1 (rows 2..n-2).
+	if rap.At(1, 1) != 2 || rap.At(1, 2) != -1 {
+		t.Errorf("RAP row 1 = %v %v, want 2 -1", rap.At(1, 1), rap.At(1, 2))
+	}
+}
+
+func TestSpGEMMWorkAccounting(t *testing.T) {
+	a := Poisson2D(6, 6)
+	f1, b1 := SpGEMMWork(a, a, 1)
+	f2, b2 := SpGEMMWork(a, a, 2)
+	if f1 != f2 {
+		t.Error("flops should not depend on pass count")
+	}
+	if !(b2 > b1) {
+		t.Error("two passes must stream more bytes than one")
+	}
+	if f1 <= 0 {
+		t.Error("no flops counted")
+	}
+}
