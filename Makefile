@@ -1,0 +1,25 @@
+# Developer entry points. `make check` is the CI gate: vet, build, the
+# full test suite, and the race detector over the concurrency-heavy
+# packages (the virtual-time runtime and its tracing layer).
+
+GO ?= go
+
+.PHONY: check vet build test race bench-trace
+
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/mpi/ ./internal/trace/
+
+# Re-measure the tracing overhead baseline recorded in BENCH_trace.json.
+bench-trace:
+	$(GO) test -run '^$$' -bench 'BenchmarkRunTrace' -benchmem -count 5 ./internal/mpi/

@@ -1,11 +1,28 @@
 // Command cpxprof profiles the pressure-solver proxy per function on the
 // virtual machine — the ARM-MAP-style breakdown of Fig. 5 — and emits the
-// result as a table or CSV for plotting.
+// result as a table or CSV for plotting. With the export flags it also
+// records the full observability bundle: a per-rank virtual-time event
+// timeline in Chrome/Perfetto trace-event JSON (open it at
+// ui.perfetto.dev), the rank×rank communication matrix as CSV, and a
+// machine-readable JSON run summary including the critical-path
+// breakdown.
 //
 // Usage:
 //
 //	cpxprof -mesh 28000000 -cores 2048
 //	cpxprof -mesh 28000000 -cores 512 -optimized -csv > profile.csv
+//	cpxprof -mesh 1000000 -cores 64 -trace trace.json -commmatrix comm.csv -json summary.json
+//
+// Flags:
+//
+//	-mesh N        pressure-solver mesh cells (must be >= 1)
+//	-cores N       virtual core count (must be >= 1)
+//	-steps N       time-steps
+//	-optimized     profile the Optimized variant
+//	-csv           emit the per-function breakdown as CSV on stdout
+//	-trace FILE    write a Chrome/Perfetto trace-event JSON timeline
+//	-commmatrix F  write the rank×rank comm matrix as CSV
+//	-json FILE     write a JSON run summary (profile + critical path)
 package main
 
 import (
@@ -16,7 +33,28 @@ import (
 	"cpx/internal/cluster"
 	"cpx/internal/mpi"
 	"cpx/internal/pressure"
+	"cpx/internal/trace"
 )
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "cpxprof: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// writeFile creates path and streams fn into it.
+func writeFile(path string, fn func(f *os.File) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fail("%v", err)
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		fail("writing %s: %v", path, err)
+	}
+	if err := f.Close(); err != nil {
+		fail("writing %s: %v", path, err)
+	}
+}
 
 func main() {
 	mesh := flag.Int64("mesh", 28_000_000, "pressure-solver mesh cells")
@@ -24,28 +62,48 @@ func main() {
 	steps := flag.Int("steps", 10, "time-steps")
 	optimized := flag.Bool("optimized", false, "profile the Optimized variant")
 	csv := flag.Bool("csv", false, "emit CSV instead of a table")
+	tracePath := flag.String("trace", "", "write a Chrome/Perfetto trace-event JSON timeline to FILE")
+	commPath := flag.String("commmatrix", "", "write the rank×rank comm matrix CSV to FILE")
+	jsonPath := flag.String("json", "", "write a JSON run summary to FILE")
 	flag.Parse()
+
+	if *cores < 1 {
+		fail("-cores must be >= 1, got %d", *cores)
+	}
+	if *mesh < 1 {
+		fail("-mesh must be >= 1, got %d", *mesh)
+	}
+	traced := *tracePath != "" || *commPath != "" || *jsonPath != ""
 
 	cfg := pressure.Config{MeshCells: *mesh, Steps: *steps, Seed: 1}
 	if *optimized {
 		cfg.Variant = pressure.Optimized
 	}
-	stats, err := mpi.Run(*cores, mpi.Config{Machine: cluster.ARCHER2(), Profile: true},
+	stats, err := mpi.Run(*cores, mpi.Config{Machine: cluster.ARCHER2(), Profile: true, Trace: traced},
 		func(c *mpi.Comm) error {
 			_, err := pressure.Run(c, cfg, pressure.Production())
 			return err
 		})
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "cpxprof: %v\n", err)
-		os.Exit(1)
+		fail("%v", err)
 	}
 	prof := stats.MergedProfile()
 	fmt.Fprintf(os.Stderr, "pressure solver (%dM cells, %s) on %d virtual cores, %d steps: %.3f s simulated\n",
 		*mesh/1_000_000, cfg.Variant, *cores, *steps, stats.Elapsed)
+
+	if *tracePath != "" {
+		writeFile(*tracePath, func(f *os.File) error { return trace.WriteChromeTrace(f, stats.Timelines) })
+	}
+	if *commPath != "" {
+		writeFile(*commPath, func(f *os.File) error { return stats.CommMatrix.WriteCSV(f) })
+	}
+	if *jsonPath != "" {
+		writeFile(*jsonPath, func(f *os.File) error { return stats.Summary().WriteJSON(f) })
+	}
+
 	if *csv {
 		if err := prof.WriteCSV(os.Stdout); err != nil {
-			fmt.Fprintf(os.Stderr, "cpxprof: %v\n", err)
-			os.Exit(1)
+			fail("%v", err)
 		}
 		return
 	}

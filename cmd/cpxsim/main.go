@@ -5,6 +5,13 @@
 //
 //	cpxsim -config engine.json
 //	cpxsim -demo            # run a built-in three-component demo
+//	cpxsim -demo -critpath -trace trace.json -commmatrix comm.csv -json summary.json
+//
+// The export flags enable event tracing: -trace writes a Chrome/Perfetto
+// trace-event JSON timeline (open at ui.perfetto.dev), -commmatrix the
+// rank×rank communication matrix CSV, -json a machine-readable run
+// summary, and -critpath prints which instance or coupling unit sits on
+// the virtual-time critical path.
 //
 // Configuration schema (JSON):
 //
@@ -32,6 +39,7 @@ import (
 	"cpx/internal/cluster"
 	"cpx/internal/coupler"
 	"cpx/internal/mpi"
+	"cpx/internal/trace"
 )
 
 type jsonInstance struct {
@@ -121,6 +129,10 @@ func demoConfig() *jsonConfig {
 func main() {
 	path := flag.String("config", "", "JSON simulation description")
 	demo := flag.Bool("demo", false, "run a built-in three-component demo")
+	tracePath := flag.String("trace", "", "write a Chrome/Perfetto trace-event JSON timeline to FILE")
+	commPath := flag.String("commmatrix", "", "write the rank×rank comm matrix CSV to FILE")
+	jsonPath := flag.String("json", "", "write a JSON run summary to FILE")
+	critPath := flag.Bool("critpath", false, "print the critical-path breakdown per component")
 	flag.Parse()
 
 	var jc jsonConfig
@@ -147,9 +159,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "cpxsim: %v\n", err)
 		os.Exit(1)
 	}
+	traced := *tracePath != "" || *commPath != "" || *jsonPath != "" || *critPath
 	fmt.Printf("running coupled simulation: %d instances, %d coupling units, %d ranks total\n",
 		len(sim.Instances), len(sim.Units), sim.TotalRanks())
-	rep, err := sim.Run(mpi.Config{Machine: cluster.ARCHER2()})
+	rep, err := sim.Run(mpi.Config{Machine: cluster.ARCHER2(), Trace: traced})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "cpxsim: %v\n", err)
 		os.Exit(1)
@@ -163,4 +176,37 @@ func main() {
 		fmt.Printf("%-24s %10.3f %12.3f\n", us.Name+" (CU)", rep.UnitTime[u], rep.UnitComp[u])
 	}
 	fmt.Printf("\ncoupling share of run-time: %.2f%%\n", 100*rep.CouplingShare)
+
+	if *critPath && rep.Critical != nil {
+		fmt.Printf("\n%s\ncritical path by component:\n", rep.Critical)
+		for _, ls := range rep.CriticalComponents {
+			fmt.Printf("%-24s %10.3f s %6.1f%%\n", ls.Label, ls.Seconds, 100*ls.Share)
+		}
+	}
+	writeFile := func(path string, fn func(f *os.File) error) {
+		f, err := os.Create(path)
+		if err == nil {
+			err = fn(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpxsim: writing %s: %v\n", path, err)
+			os.Exit(1)
+		}
+	}
+	if *tracePath != "" {
+		writeFile(*tracePath, func(f *os.File) error { return trace.WriteChromeTrace(f, rep.Stats.Timelines) })
+	}
+	if *commPath != "" {
+		writeFile(*commPath, func(f *os.File) error { return rep.Stats.CommMatrix.WriteCSV(f) })
+	}
+	if *jsonPath != "" {
+		sum := rep.Stats.Summary()
+		if sum.CriticalPath != nil {
+			sum.CriticalPath.Components = rep.CriticalComponents
+		}
+		writeFile(*jsonPath, func(f *os.File) error { return sum.WriteJSON(f) })
+	}
 }

@@ -1,0 +1,173 @@
+package coupler
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"cpx/internal/mpi"
+	"cpx/internal/trace"
+)
+
+// lopsidedSim couples a small and a much larger MG-CFD instance so the
+// big one unambiguously owns the critical path. Exchanging every other
+// step leaves the final density step exchange-free, so the run ends on
+// the big instance's own compute rather than on a synchronising CU recv.
+func lopsidedSim() *Simulation {
+	return &Simulation{
+		Instances: []InstanceSpec{
+			{Name: "small", Kind: KindMGCFD, MeshCells: 1024, Ranks: 4, Seed: 1},
+			{Name: "big", Kind: KindMGCFD, MeshCells: 262144, Ranks: 4, Seed: 2},
+		},
+		Units: []UnitSpec{
+			{Name: "cu", A: 0, B: 1, Kind: SlidingPlane, Points: 2000, Ranks: 2, Search: Tree, ExchangeEvery: 2},
+		},
+		DensitySteps:    3,
+		RotationPerStep: 0.001,
+		Scale:           Scale{MaxPointsPerSide: 256},
+	}
+}
+
+func tracedRunCfg() mpi.Config {
+	cfg := runCfg()
+	cfg.Trace = true
+	return cfg
+}
+
+// TestCoupledTraceExports is the acceptance test for the observability
+// tentpole: a fig8-style coupled run must yield a loadable Chrome trace,
+// a comm-matrix CSV, and a critical path that telescopes to the elapsed
+// virtual time and names the instance of the max-clock rank.
+func TestCoupledTraceExports(t *testing.T) {
+	rep, err := lopsidedSim().Run(tracedRunCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Stats == nil || rep.Stats.Timelines == nil {
+		t.Fatal("traced run did not populate Stats.Timelines")
+	}
+	if rep.Critical == nil {
+		t.Fatal("traced run did not compute the critical path")
+	}
+
+	// (c) Critical path telescopes to Stats.Elapsed within 1e-9 and the
+	// dominant component matches the max-clock rank's instance.
+	if diff := math.Abs(rep.Critical.Total() - rep.Stats.Elapsed); diff > 1e-9 {
+		t.Errorf("critical path total %g vs elapsed %g (diff %g)",
+			rep.Critical.Total(), rep.Stats.Elapsed, diff)
+	}
+	sim := lopsidedSim()
+	wantComp := sim.ComponentName(rep.Stats.MaxClockRank())
+	if got := rep.DominantComponent(); got != wantComp {
+		t.Errorf("dominant component = %q, max-clock rank %d belongs to %q",
+			got, rep.Stats.MaxClockRank(), wantComp)
+	}
+	if wantComp != "big" {
+		t.Errorf("max-clock rank is in %q, expected the big instance to dominate", wantComp)
+	}
+	var share float64
+	for _, ls := range rep.CriticalComponents {
+		if ls.Label == "big" {
+			share = ls.Share
+		}
+	}
+	if share < 0.5 {
+		t.Errorf("big instance carries %.2f of the path, want a clear majority", share)
+	}
+
+	// (a) Chrome trace-event JSON: valid JSON in the shape Perfetto loads.
+	var traceBuf strings.Builder
+	if err := trace.WriteChromeTrace(&traceBuf, rep.Stats.Timelines); err != nil {
+		t.Fatal(err)
+	}
+	var chrome struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Tid  int     `json:"tid"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal([]byte(traceBuf.String()), &chrome); err != nil {
+		t.Fatalf("trace export is not valid JSON: %v", err)
+	}
+	if chrome.DisplayTimeUnit == "" || len(chrome.TraceEvents) < sim.TotalRanks() {
+		t.Errorf("trace export too small: %d events", len(chrome.TraceEvents))
+	}
+	seenRanks := map[int]bool{}
+	for _, ev := range chrome.TraceEvents {
+		if ev.Ph == "X" {
+			seenRanks[ev.Tid] = true
+		}
+	}
+	if len(seenRanks) != sim.TotalRanks() {
+		t.Errorf("trace covers %d ranks, want %d", len(seenRanks), sim.TotalRanks())
+	}
+
+	// (b) Comm-matrix CSV parses and accounts real traffic.
+	var commBuf strings.Builder
+	if err := rep.Stats.CommMatrix.WriteCSV(&commBuf); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(strings.NewReader(commBuf.String())).ReadAll()
+	if err != nil {
+		t.Fatalf("comm matrix export is not valid CSV: %v", err)
+	}
+	if len(recs) < 2 {
+		t.Fatalf("comm matrix is empty:\n%s", commBuf.String())
+	}
+	msgs, bytes := rep.Stats.CommMatrix.Totals()
+	if msgs == 0 || bytes == 0 {
+		t.Errorf("comm matrix totals = %d msgs, %d bytes", msgs, bytes)
+	}
+
+	// JSON run summary round-trips with the component attribution attached.
+	sum := rep.Stats.Summary()
+	sum.CriticalPath.Components = rep.CriticalComponents
+	var sumBuf strings.Builder
+	if err := sum.WriteJSON(&sumBuf); err != nil {
+		t.Fatal(err)
+	}
+	var back trace.RunSummary
+	if err := json.Unmarshal([]byte(sumBuf.String()), &back); err != nil {
+		t.Fatalf("run summary is not valid JSON: %v", err)
+	}
+	if back.CriticalPath == nil || len(back.CriticalPath.Components) == 0 {
+		t.Error("run summary lost the critical-path components")
+	}
+}
+
+// TestTracingLeavesCoupledRunIdentical: the same coupled simulation with
+// and without tracing must produce bitwise-identical virtual times.
+func TestTracingLeavesCoupledRunIdentical(t *testing.T) {
+	plain, err := lopsidedSim().Run(runCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	traced, err := lopsidedSim().Run(tracedRunCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Elapsed != traced.Elapsed {
+		t.Errorf("Elapsed differs: plain %v traced %v", plain.Elapsed, traced.Elapsed)
+	}
+	for i := range plain.InstanceTime {
+		if plain.InstanceTime[i] != traced.InstanceTime[i] {
+			t.Errorf("instance %d time differs: %v vs %v", i, plain.InstanceTime[i], traced.InstanceTime[i])
+		}
+	}
+	for u := range plain.UnitTime {
+		if plain.UnitTime[u] != traced.UnitTime[u] {
+			t.Errorf("unit %d time differs: %v vs %v", u, plain.UnitTime[u], traced.UnitTime[u])
+		}
+	}
+	if plain.Critical != nil || plain.CriticalComponents != nil {
+		t.Error("untraced report carries critical-path data")
+	}
+	if plain.DominantComponent() != "" {
+		t.Error("untraced DominantComponent() should be empty")
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"cpx/internal/mgcfd"
 	"cpx/internal/mpi"
 	"cpx/internal/simpic"
+	"cpx/internal/trace"
 )
 
 // femShellFor sizes a casing shell so its element count matches the
@@ -223,6 +224,16 @@ func (sim *Simulation) roleOf(worldRank int) role {
 	panic(fmt.Sprintf("coupler: rank %d beyond layout (%d total)", worldRank, sim.TotalRanks()))
 }
 
+// ComponentName returns the name of the instance or coupling unit a
+// world rank belongs to, for critical-path and trace attribution.
+func (sim *Simulation) ComponentName(worldRank int) string {
+	r := sim.roleOf(worldRank)
+	if r.isUnit {
+		return sim.Units[r.index].Name
+	}
+	return sim.Instances[r.index].Name
+}
+
 // groupRanks returns the world ranks of an instance or unit group.
 func (sim *Simulation) groupRanks(isUnit bool, index int) (lo, hi int) {
 	off := 0
@@ -266,6 +277,23 @@ type Report struct {
 	// CouplingShare is the max per-unit steady busy time (setup mapping
 	// excluded — production couplers amortise it) over the elapsed time.
 	CouplingShare float64
+	// Stats is the raw run statistics; its Timelines and CommMatrix are
+	// populated when the run was traced (mpi.Config.Trace).
+	Stats *mpi.Stats
+	// Critical is the virtual-time critical path of the coupled run and
+	// CriticalComponents its attribution to instances/units, sorted by
+	// descending share. Both are nil unless the run was traced.
+	Critical           *trace.CriticalPath
+	CriticalComponents []trace.LabelShare
+}
+
+// DominantComponent returns the instance/unit carrying the largest share
+// of the critical path ("" when the run was not traced).
+func (rep *Report) DominantComponent() string {
+	if len(rep.CriticalComponents) == 0 {
+		return ""
+	}
+	return rep.CriticalComponents[0].Label
 }
 
 // ScaledInstanceTime extrapolates instance i's run-time from the sampled
@@ -318,6 +346,7 @@ func (sim *Simulation) Run(cfg mpi.Config) (*Report, error) {
 		return nil, err
 	}
 	rep := &Report{
+		Stats:         stats,
 		Elapsed:       stats.Elapsed,
 		InstanceTime:  make([]float64, len(sim.Instances)),
 		InstanceComp:  make([]float64, len(sim.Instances)),
@@ -351,6 +380,14 @@ func (sim *Simulation) Run(cfg mpi.Config) (*Report, error) {
 			}
 			rep.CouplingShare = math.Max(rep.CouplingShare, busy/rep.Elapsed)
 		}
+	}
+	if stats.Timelines != nil {
+		cp, cperr := stats.CriticalPath()
+		if cperr != nil {
+			return nil, fmt.Errorf("coupler: critical path: %w", cperr)
+		}
+		rep.Critical = cp
+		rep.CriticalComponents = cp.ByLabel(sim.ComponentName)
 	}
 	return rep, nil
 }

@@ -152,7 +152,7 @@ func (o Options) Fig8() (*Table, error) {
 		Scale:           coupler.ProductionScale(),
 	}
 	o.logf("fig8: running coupled simulation on %d ranks", sim.TotalRanks())
-	rep, err := sim.Run(o.mpiConfig(false))
+	rep, err := sim.Run(o.coupledConfig())
 	if err != nil {
 		return nil, err
 	}
@@ -175,7 +175,27 @@ func (o Options) Fig8() (*Table, error) {
 		fmt.Sprintf("max per-instance prediction error %.0f%% (paper: 18%%)", 100*worst),
 		fmt.Sprintf("paper allocation for comparison: 331 + 331 MG-CFD, 4,253 SIMPIC, 63 + 22 CU ranks"),
 		fmt.Sprintf("unallocated cores (past PE knees): %d", alloc.Unallocated))
+	t.Notes = append(t.Notes, criticalPathNotes(rep)...)
 	return t, nil
+}
+
+// criticalPathNotes renders a traced coupled report's critical-path
+// attribution as table notes (empty when tracing was off).
+func criticalPathNotes(rep *coupler.Report) []string {
+	if rep.Critical == nil {
+		return nil
+	}
+	notes := []string{fmt.Sprintf("critical path: %s carries %.2f s of %.2f s (%.0f%%); wait share %.0f%%",
+		rep.CriticalComponents[0].Label, rep.CriticalComponents[0].Seconds,
+		rep.Critical.Elapsed, 100*rep.CriticalComponents[0].Share,
+		100*rep.Critical.ByKind()["wait"]/rep.Critical.Elapsed)}
+	for _, ls := range rep.CriticalComponents[1:] {
+		if ls.Share < 0.01 {
+			break
+		}
+		notes = append(notes, fmt.Sprintf("critical path: %s %.2f s (%.0f%%)", ls.Label, ls.Seconds, 100*ls.Share))
+	}
+	return notes
 }
 
 // ---- Fig. 9: full-engine simulation -----------------------------------------
@@ -343,7 +363,7 @@ func (o Options) RunEngine(optimized bool, budget int) (*EngineResult, error) {
 		simSpec.Units[u].Ranks = alloc.Cores[len(insts)+u]
 	}
 	o.logf("engine(optimized=%v): running coupled sim on %d ranks", optimized, simSpec.TotalRanks())
-	rep, err := simSpec.Run(o.mpiConfig(false))
+	rep, err := simSpec.Run(o.coupledConfig())
 	if err != nil {
 		return nil, err
 	}
@@ -468,6 +488,14 @@ func (o Options) Fig9() ([]*Table, error) {
 	t9c.Notes = append(t9c.Notes,
 		fmt.Sprintf("predicted speedup %.1fx, measured speedup %.1fx (paper: predicted ~6x, measured ~4x, errors <25%%)", predSpeedup, measSpeedup),
 		"paper anchor: coupling overhead <0.5% of run-time with the tree+prefetch search")
+	for _, v := range []struct {
+		name string
+		rep  *coupler.Report
+	}{{"Base-STC", base.Rep}, {"Optimized-STC", opt.Rep}} {
+		for _, n := range criticalPathNotes(v.rep) {
+			t9c.Notes = append(t9c.Notes, v.name+" "+n)
+		}
+	}
 	return []*Table{t9a, t9b, t9c}, nil
 }
 

@@ -77,6 +77,11 @@ type Options struct {
 	// Verbose emits progress to stdout.
 	Verbose  bool
 	Watchdog time.Duration
+	// Trace enables event tracing on the coupled runs (fig8, fig9,
+	// overlap): the resulting reports carry the virtual-time critical
+	// path and its per-instance/per-CU attribution. Standalone fitting
+	// sweeps are never traced.
+	Trace bool
 }
 
 // DefaultOptions runs the full sweeps on the ARCHER2 model.
@@ -90,6 +95,14 @@ func (o Options) mpiConfig(profile bool) mpi.Config {
 		wd = 2 * time.Hour
 	}
 	return mpi.Config{Machine: o.Machine, Profile: profile, Watchdog: wd}
+}
+
+// coupledConfig is mpiConfig plus event tracing when Options.Trace is
+// set; used for the coupled simulations only.
+func (o Options) coupledConfig() mpi.Config {
+	cfg := o.mpiConfig(false)
+	cfg.Trace = o.Trace
+	return cfg
 }
 
 func (o Options) logf(format string, args ...any) {

@@ -409,8 +409,7 @@ func (s *Sim) prolongFrom(coarse, fine *level, before [][]float64, damp float64)
 // kernels for ARM-MAP-style profiles (no-op when profiling is off).
 func (s *Sim) region(name string, fn func()) {
 	if p := s.comm.Profile(); p != nil {
-		p.Push(name)
-		defer p.Pop()
+		defer p.Scoped(name)()
 	}
 	fn()
 }

@@ -42,6 +42,7 @@ func (op Op) apply(dst, src []float64) {
 // Implemented with the dissemination algorithm: ceil(log2 p) rounds of
 // pairwise messages, so its virtual cost scales as the real thing does.
 func (c *Comm) Barrier() {
+	defer c.proc.pushOp("barrier")()
 	p := c.Size()
 	for k := 1; k < p; k *= 2 {
 		to := (c.rank + k) % p
@@ -54,6 +55,7 @@ func (c *Comm) Barrier() {
 // Bcast distributes root's data to every rank using a binomial tree and
 // returns each rank's copy. Non-root callers may pass nil.
 func (c *Comm) Bcast(root int, data []float64) []float64 {
+	defer c.proc.pushOp("bcast")()
 	p := c.Size()
 	if p == 1 {
 		return data
@@ -81,6 +83,7 @@ func (c *Comm) Bcast(root int, data []float64) []float64 {
 // Reduce combines data element-wise across ranks with op, delivering the
 // result at root (nil elsewhere). Binomial-tree reduction.
 func (c *Comm) Reduce(root int, data []float64, op Op) []float64 {
+	defer c.proc.pushOp("reduce")()
 	p := c.Size()
 	acc := make([]float64, len(data))
 	copy(acc, data)
@@ -110,6 +113,7 @@ func (c *Comm) Reduce(root int, data []float64, op Op) []float64 {
 // returns the result on every rank. Uses recursive doubling, with a fold
 // step for non-power-of-two sizes (the MPICH algorithm family).
 func (c *Comm) Allreduce(data []float64, op Op) []float64 {
+	defer c.proc.pushOp("allreduce")()
 	p := c.Size()
 	acc := make([]float64, len(data))
 	copy(acc, data)
@@ -160,6 +164,7 @@ func (c *Comm) AllreduceInt(x int, op Op) int {
 // source rank in rank order (nil on non-roots). Linear gather; payload
 // sizes may differ per rank.
 func (c *Comm) Gather(root int, data []float64) [][]float64 {
+	defer c.proc.pushOp("gather")()
 	p := c.Size()
 	if c.rank != root {
 		c.Send(root, tagCollective, data)
@@ -181,6 +186,7 @@ func (c *Comm) Gather(root int, data []float64) [][]float64 {
 
 // GatherInts collects each rank's int slice at root.
 func (c *Comm) GatherInts(root int, data []int) [][]int {
+	defer c.proc.pushOp("gather")()
 	p := c.Size()
 	if c.rank != root {
 		c.SendInts(root, tagCollective, data)
@@ -206,6 +212,7 @@ func (c *Comm) GatherInts(root int, data []int) [][]int {
 // virtual (and host) cost logarithmic at the paper's 10,000+ rank scale.
 // Blocks may have different lengths per rank.
 func (c *Comm) Allgather(data []float64) [][]float64 {
+	defer c.proc.pushOp("allgather")()
 	p := c.Size()
 	// blocks[i] holds the block of rank (c.rank + i) % p once filled.
 	blocks := make([][]float64, 1, p)
@@ -262,6 +269,7 @@ func unpackBlocks(buf []float64) [][]float64 {
 
 // AllgatherInts collects every rank's int slice on every rank (Bruck).
 func (c *Comm) AllgatherInts(data []int) [][]int {
+	defer c.proc.pushOp("allgather")()
 	p := c.Size()
 	blocks := make([][]int, 1, p)
 	cp := make([]int, len(data))
@@ -306,6 +314,7 @@ func (c *Comm) AllgatherInts(data []int) [][]int {
 // slice received from each rank. Pairwise-exchange schedule: p-1 steps,
 // step s pairing rank with rank+s and rank-s.
 func (c *Comm) Alltoallv(send [][]float64) [][]float64 {
+	defer c.proc.pushOp("alltoallv")()
 	p := c.Size()
 	if len(send) != p {
 		panic(fmt.Sprintf("mpi: Alltoallv needs %d send buffers, got %d", p, len(send)))
@@ -326,6 +335,7 @@ func (c *Comm) Alltoallv(send [][]float64) [][]float64 {
 
 // AlltoallvInts is Alltoallv for int payloads.
 func (c *Comm) AlltoallvInts(send [][]int) [][]int {
+	defer c.proc.pushOp("alltoallv")()
 	p := c.Size()
 	if len(send) != p {
 		panic(fmt.Sprintf("mpi: AlltoallvInts needs %d send buffers, got %d", p, len(send)))
@@ -347,6 +357,7 @@ func (c *Comm) AlltoallvInts(send [][]int) [][]int {
 // Scatter distributes parts[i] from root to rank i (linear). Every rank
 // returns its own part; non-root callers pass nil parts.
 func (c *Comm) Scatter(root int, parts [][]float64) []float64 {
+	defer c.proc.pushOp("scatter")()
 	p := c.Size()
 	if c.rank == root {
 		if len(parts) != p {
@@ -368,6 +379,7 @@ func (c *Comm) Scatter(root int, parts [][]float64) []float64 {
 // ExscanSum returns the exclusive prefix sum of x across ranks (rank 0
 // gets 0). Linear chain; used for global numbering.
 func (c *Comm) ExscanSum(x float64) float64 {
+	defer c.proc.pushOp("exscan")()
 	p := c.Size()
 	acc := 0.0
 	if c.rank > 0 {

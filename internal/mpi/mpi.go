@@ -49,12 +49,14 @@ const AnySource = -1
 
 // message is an in-flight point-to-point message.
 type message struct {
-	ctx     int     // communicator context id
-	src     int     // source rank within the communicator
-	tag     int     // message tag
-	payload any     // []float64, []int or []byte (a private copy)
-	bytes   int     // payload size used for network cost
-	arrival float64 // virtual time the message reaches the receiver
+	ctx       int     // communicator context id
+	src       int     // source rank within the communicator
+	srcWorld  int     // source world rank (for tracing/causality)
+	tag       int     // message tag
+	payload   any     // []float64, []int or []byte (a private copy)
+	bytes     int     // payload size used for network cost
+	departure float64 // virtual time the message left the sender
+	arrival   float64 // virtual time the message reaches the receiver
 }
 
 // mailbox is the per-rank incoming message queue.
@@ -154,6 +156,11 @@ func (w *World) contextFor(parent, gen, color int) int {
 	return w.nextCtx
 }
 
+// commCell accumulates one row entry of the rank×rank comm matrix.
+type commCell struct {
+	msgs, bytes int64
+}
+
 // proc is the per-rank virtual-time state, shared by every communicator
 // the rank belongs to.
 type proc struct {
@@ -162,22 +169,92 @@ type proc struct {
 	compute   float64
 	comm      float64
 	profile   *trace.Profile
+	// Event-tracing state, nil/empty unless Config.Trace is set. comms is
+	// this rank's sparse comm-matrix row (keyed by destination world
+	// rank); op labels events with the enclosing collective operation.
+	timeline *trace.Timeline
+	comms    map[int]*commCell
+	op       string
 }
 
 func (p *proc) chargeCompute(s float64) {
+	t0 := p.clock
 	p.clock += s
 	p.compute += s
 	if p.profile != nil {
 		p.profile.AddCompute(s)
 	}
+	if p.timeline != nil {
+		p.timeline.Add(trace.Event{Kind: trace.EvCompute, T0: t0, T1: p.clock,
+			Region: p.profile.Current(), Op: p.op, Peer: -1})
+	}
 }
 
-func (p *proc) chargeComm(s float64) {
+// chargeCommAs charges s seconds of communication, recording a timeline
+// event of the given kind when tracing is on.
+func (p *proc) chargeCommAs(s float64, kind trace.EventKind, peer, bytes, tag int) {
+	t0 := p.clock
 	p.clock += s
 	p.comm += s
 	if p.profile != nil {
 		p.profile.AddComm(s)
 	}
+	if p.timeline != nil {
+		p.timeline.Add(trace.Event{Kind: kind, T0: t0, T1: p.clock,
+			Region: p.profile.Current(), Op: p.op, Peer: peer, Bytes: bytes, Tag: tag})
+	}
+}
+
+func (p *proc) chargeComm(s float64) { p.chargeCommAs(s, trace.EvComm, -1, 0, 0) }
+
+// waitUntil advances the clock to a message's arrival time, accounting
+// the jump as communication/wait time and recording the causality edge
+// (sender world rank + virtual departure time) when tracing is on.
+func (p *proc) waitUntil(m *message) {
+	if m.arrival <= p.clock {
+		return
+	}
+	wait := m.arrival - p.clock
+	t0 := p.clock
+	p.clock = m.arrival
+	p.comm += wait
+	if p.profile != nil {
+		p.profile.AddComm(wait)
+	}
+	if p.timeline != nil {
+		p.timeline.Add(trace.Event{Kind: trace.EvWait, T0: t0, T1: m.arrival,
+			Region: p.profile.Current(), Op: p.op,
+			Peer: m.srcWorld, Bytes: m.bytes, Tag: m.tag, SendT: m.departure})
+	}
+}
+
+// countMessage records one outgoing message in this rank's comm-matrix row.
+func (p *proc) countMessage(dstWorld, bytes int) {
+	if p.comms == nil {
+		return
+	}
+	cell := p.comms[dstWorld]
+	if cell == nil {
+		cell = &commCell{}
+		p.comms[dstWorld] = cell
+	}
+	cell.msgs++
+	cell.bytes += int64(bytes)
+}
+
+// sharedNoop is returned by pushOp when tracing is off or an outer
+// collective already holds the label, so call sites can always defer it.
+var sharedNoop = func() {}
+
+// pushOp labels subsequent events with a collective-operation name until
+// the returned function is called. The outermost label wins (a Split's
+// internal allgather stays labelled "comm_split").
+func (p *proc) pushOp(name string) func() {
+	if p.timeline == nil || p.op != "" {
+		return sharedNoop
+	}
+	p.op = name
+	return func() { p.op = "" }
 }
 
 // Comm is a communicator: a group of ranks with a private message-matching
@@ -326,14 +403,16 @@ func (c *Comm) sendRaw(to, tag int, data any) {
 	c.checkPeer(to, "Send")
 	m := c.world.machine
 	bytes := payloadBytes(data)
-	c.proc.chargeComm(m.SendOverhead)
-	departure := c.proc.clock
 	srcWorld := c.proc.worldRank
 	dstWorld := c.worldRankOf(to)
+	c.proc.chargeCommAs(m.SendOverhead, trace.EvSend, dstWorld, bytes, tag)
+	c.proc.countMessage(dstWorld, bytes)
+	departure := c.proc.clock
 	arrival := departure + m.TransferTime(srcWorld, dstWorld, bytes)
 	c.world.boxes[dstWorld].put(&message{
-		ctx: c.ctx, src: c.rank, tag: tag,
-		payload: clonePayload(data), bytes: bytes, arrival: arrival,
+		ctx: c.ctx, src: c.rank, srcWorld: srcWorld, tag: tag,
+		payload: clonePayload(data), bytes: bytes,
+		departure: departure, arrival: arrival,
 	})
 }
 
@@ -343,16 +422,9 @@ func (c *Comm) recvRaw(from, tag int) *message {
 		c.checkPeer(from, "Recv")
 	}
 	msg := c.world.boxes[c.proc.worldRank].take(c.world, c.ctx, from, tag)
-	if msg.arrival > c.proc.clock {
-		// The jump to the arrival time is time this rank spent waiting.
-		wait := msg.arrival - c.proc.clock
-		c.proc.clock = msg.arrival
-		c.proc.comm += wait
-		if c.proc.profile != nil {
-			c.proc.profile.AddComm(wait)
-		}
-	}
-	c.proc.chargeComm(c.world.machine.RecvOverhead)
+	// The jump to the arrival time is time this rank spent waiting.
+	c.proc.waitUntil(msg)
+	c.proc.chargeCommAs(c.world.machine.RecvOverhead, trace.EvRecv, msg.srcWorld, msg.bytes, msg.tag)
 	return msg
 }
 
@@ -371,7 +443,7 @@ func (c *Comm) RecvAll(n, tag int) (data [][]float64, sources []int) {
 		payload []float64
 	}
 	msgs := make([]got, 0, n)
-	maxArrival := c.proc.clock
+	var latest *message // the message whose arrival completes the Waitall
 	for i := 0; i < n; i++ {
 		m := c.world.boxes[c.proc.worldRank].take(c.world, c.ctx, AnySource, tag)
 		d, ok := m.payload.([]float64)
@@ -379,18 +451,14 @@ func (c *Comm) RecvAll(n, tag int) (data [][]float64, sources []int) {
 			panic(fmt.Sprintf("mpi: RecvAll type mismatch: got %T, want []float64", m.payload))
 		}
 		msgs = append(msgs, got{m.src, m.arrival, d})
-		if m.arrival > maxArrival {
-			maxArrival = m.arrival
+		if latest == nil || m.arrival > latest.arrival {
+			latest = m
 		}
 	}
-	if wait := maxArrival - c.proc.clock; wait > 0 {
-		c.proc.clock = maxArrival
-		c.proc.comm += wait
-		if c.proc.profile != nil {
-			c.proc.profile.AddComm(wait)
-		}
+	if latest != nil {
+		c.proc.waitUntil(latest)
 	}
-	c.proc.chargeComm(float64(n) * c.world.machine.RecvOverhead)
+	c.proc.chargeCommAs(float64(n)*c.world.machine.RecvOverhead, trace.EvRecv, -1, 0, tag)
 	sort.Slice(msgs, func(a, b int) bool {
 		if msgs[a].src != msgs[b].src {
 			return msgs[a].src < msgs[b].src
@@ -413,14 +481,16 @@ func (c *Comm) RecvAll(n, tag int) (data [][]float64, sources []int) {
 func (c *Comm) SendVirtual(to, tag int, data []float64, virtualBytes int) {
 	c.checkPeer(to, "SendVirtual")
 	m := c.world.machine
-	c.proc.chargeComm(m.SendOverhead)
-	departure := c.proc.clock
 	srcWorld := c.proc.worldRank
 	dstWorld := c.worldRankOf(to)
+	c.proc.chargeCommAs(m.SendOverhead, trace.EvSend, dstWorld, virtualBytes, tag)
+	c.proc.countMessage(dstWorld, virtualBytes)
+	departure := c.proc.clock
 	arrival := departure + m.TransferTime(srcWorld, dstWorld, virtualBytes)
 	c.world.boxes[dstWorld].put(&message{
-		ctx: c.ctx, src: c.rank, tag: tag,
-		payload: clonePayload(data), bytes: virtualBytes, arrival: arrival,
+		ctx: c.ctx, src: c.rank, srcWorld: srcWorld, tag: tag,
+		payload: clonePayload(data), bytes: virtualBytes,
+		departure: departure, arrival: arrival,
 	})
 }
 
@@ -477,6 +547,60 @@ type Stats struct {
 	Compute  []float64 // per-rank virtual compute seconds
 	Comm     []float64 // per-rank virtual communication+wait seconds
 	Profiles []*trace.Profile
+	// Timelines holds the per-rank event timelines and CommMatrix the
+	// rank×rank message/byte counts; both are nil unless Config.Trace.
+	Timelines  []*trace.Timeline
+	CommMatrix *trace.CommMatrix
+}
+
+// MaxClockRank returns the rank whose clock set Elapsed.
+func (s *Stats) MaxClockRank() int {
+	best := 0
+	for i, c := range s.Clocks {
+		if c > s.Clocks[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// CriticalPath analyses the message-causality chain that sets Elapsed.
+// It requires Config.Trace to have been set on the run.
+func (s *Stats) CriticalPath() (*trace.CriticalPath, error) {
+	if s.Timelines == nil {
+		return nil, errors.New("mpi: CriticalPath requires Config.Trace")
+	}
+	return trace.ComputeCriticalPath(s.Timelines)
+}
+
+// Summary builds the machine-readable run summary, including the
+// per-region profile, critical path and comm-matrix sections when the
+// run recorded them.
+func (s *Stats) Summary() *trace.RunSummary {
+	sum := &trace.RunSummary{
+		Ranks:        s.Ranks,
+		Elapsed:      s.Elapsed,
+		MaxClockRank: s.MaxClockRank(),
+		AvgCompute:   s.AvgCompute(),
+		AvgComm:      s.AvgComm(),
+		CommFraction: s.CommFraction(),
+	}
+	if prof := s.MergedProfile(); prof != nil {
+		for _, name := range prof.Regions() {
+			e := prof.Entry(name)
+			sum.Regions = append(sum.Regions, trace.RegionSummary{
+				Region: name, Compute: e.Compute, Comm: e.Comm, Calls: e.Calls,
+			})
+		}
+	}
+	if cp, err := s.CriticalPath(); err == nil {
+		sum.CriticalPath = cp.Summarize()
+	}
+	if s.CommMatrix != nil {
+		msgs, bytes := s.CommMatrix.Totals()
+		sum.Comm = &trace.CommSummary{Messages: msgs, Bytes: bytes, Pairs: len(s.CommMatrix.Edges)}
+	}
+	return sum
 }
 
 // MaxCompute returns the largest per-rank compute time.
@@ -528,6 +652,17 @@ type Config struct {
 	Machine *cluster.Machine
 	// Profile enables per-rank trace profiles.
 	Profile bool
+	// Trace enables per-rank event timelines (virtual-time spans for
+	// compute, send, recv/wait and collective phases) and the rank×rank
+	// communication matrix, feeding the critical-path analysis and the
+	// Perfetto/JSON exporters. Implies Profile. Off by default: the
+	// un-traced fast path records nothing.
+	Trace bool
+	// TraceMaxEvents caps the events recorded per rank to bound memory;
+	// <= 0 selects trace.DefaultMaxEvents. Ranks that exceed the cap
+	// report dropped events and are rejected by the critical-path
+	// analysis rather than yielding a truncated chain.
+	TraceMaxEvents int
 	// Watchdog aborts the run if it exceeds this much *host* time,
 	// catching deadlocked communication patterns in tests. Defaults to
 	// 120 s; negative disables.
@@ -558,8 +693,12 @@ func Run(size int, cfg Config, fn func(*Comm) error) (*Stats, error) {
 	for i := range w.boxes {
 		w.boxes[i] = newMailbox()
 		w.procs[i] = &proc{worldRank: i}
-		if cfg.Profile {
+		if cfg.Profile || cfg.Trace {
 			w.procs[i].profile = trace.NewProfile()
+		}
+		if cfg.Trace {
+			w.procs[i].timeline = trace.NewTimeline(i, cfg.TraceMaxEvents)
+			w.procs[i].comms = make(map[int]*commCell)
 		}
 	}
 
@@ -626,6 +765,10 @@ func Run(size int, cfg Config, fn func(*Comm) error) (*Stats, error) {
 		Comm:     make([]float64, size),
 		Profiles: make([]*trace.Profile, size),
 	}
+	if cfg.Trace {
+		st.Timelines = make([]*trace.Timeline, size)
+		st.CommMatrix = &trace.CommMatrix{Ranks: size}
+	}
 	for i, p := range w.procs {
 		st.Clocks[i] = p.clock
 		st.Compute[i] = p.compute
@@ -634,6 +777,15 @@ func Run(size int, cfg Config, fn func(*Comm) error) (*Stats, error) {
 		if p.clock > st.Elapsed {
 			st.Elapsed = p.clock
 		}
+		if cfg.Trace {
+			st.Timelines[i] = p.timeline
+			for dst, cell := range p.comms {
+				st.CommMatrix.AddEdge(i, dst, cell.msgs, cell.bytes)
+			}
+		}
+	}
+	if st.CommMatrix != nil {
+		st.CommMatrix.Sort()
 	}
 	return st, nil
 }

@@ -11,6 +11,7 @@ import (
 // A negative color returns nil (the rank opts out), mirroring
 // MPI_UNDEFINED. Split is collective: every rank of c must call it.
 func (c *Comm) Split(color, key int) *Comm {
+	defer c.proc.pushOp("comm_split")()
 	// Exchange (color, key) triples; everyone derives the same grouping.
 	all := c.AllgatherInts([]int{color, key})
 	type member struct{ color, key, rank int }
@@ -178,6 +179,7 @@ func WaitAll(reqs ...*Request) {
 // index. Tags are derived from `tag` so multiple exchanges can be in
 // flight on distinct tags.
 func (c *Comm) HaloExchange(tag int, neighbours []int, sendBufs [][]float64) [][]float64 {
+	defer c.proc.pushOp("halo_exchange")()
 	if len(neighbours) != len(sendBufs) {
 		panic(fmt.Sprintf("mpi: HaloExchange: %d neighbours but %d buffers", len(neighbours), len(sendBufs)))
 	}

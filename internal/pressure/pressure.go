@@ -251,8 +251,7 @@ func New(c *mpi.Comm, cfg Config, sc ScaleOpts) (*Solver, error) {
 // region runs fn inside a named trace region (no-op when profiling off).
 func (s *Solver) region(name string, fn func()) {
 	if p := s.comm.Profile(); p != nil {
-		p.Push(name)
-		defer p.Pop()
+		defer p.Scoped(name)()
 	}
 	fn()
 }

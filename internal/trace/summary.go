@@ -1,0 +1,64 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// RegionSummary is one region row of a machine-readable run summary.
+type RegionSummary struct {
+	Region  string  `json:"region"`
+	Compute float64 `json:"compute_s"`
+	Comm    float64 `json:"comm_s"`
+	Calls   int64   `json:"calls"`
+}
+
+// PathSummary is the critical-path section of a run summary.
+type PathSummary struct {
+	Segments   int                `json:"segments"`
+	EndRank    int                `json:"end_rank"`
+	Total      float64            `json:"total_s"`
+	ByKind     map[string]float64 `json:"by_kind_s"`
+	ByRegion   []RegionTime       `json:"by_region,omitempty"`
+	Components []LabelShare       `json:"components,omitempty"`
+}
+
+// Summarize condenses the critical path for JSON export.
+func (cp *CriticalPath) Summarize() *PathSummary {
+	return &PathSummary{
+		Segments: len(cp.Segments),
+		EndRank:  cp.EndRank,
+		Total:    cp.Total(),
+		ByKind:   cp.ByKind(),
+		ByRegion: cp.ByRegion(),
+	}
+}
+
+// CommSummary is the communication-matrix section of a run summary.
+type CommSummary struct {
+	Messages int64 `json:"messages"`
+	Bytes    int64 `json:"bytes"`
+	Pairs    int   `json:"pairs"` // distinct (src, dst) pairs
+}
+
+// RunSummary is the machine-readable summary of one virtual-time run,
+// combining the headline statistics with the optional profile, critical
+// path and communication matrix sections.
+type RunSummary struct {
+	Ranks        int             `json:"ranks"`
+	Elapsed      float64         `json:"elapsed_s"`
+	MaxClockRank int             `json:"max_clock_rank"`
+	AvgCompute   float64         `json:"avg_compute_s"`
+	AvgComm      float64         `json:"avg_comm_s"`
+	CommFraction float64         `json:"comm_fraction"`
+	Regions      []RegionSummary `json:"regions,omitempty"`
+	CriticalPath *PathSummary    `json:"critical_path,omitempty"`
+	Comm         *CommSummary    `json:"comm_matrix,omitempty"`
+}
+
+// WriteJSON emits the summary as indented JSON.
+func (s *RunSummary) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}

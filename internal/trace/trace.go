@@ -46,13 +46,25 @@ func (p *Profile) Push(name string) {
 	p.entry(name).Calls++
 }
 
-// Pop leaves the innermost region. Popping an empty stack panics: it is
-// always a programming error in the instrumented solver.
-func (p *Profile) Pop() {
+// Pop leaves the innermost region and returns its name. Popping an empty
+// stack panics: it is always a programming error in the instrumented
+// solver.
+func (p *Profile) Pop() string {
 	if len(p.stack) == 0 {
 		panic("trace: Pop on empty region stack")
 	}
+	name := p.stack[len(p.stack)-1]
 	p.stack = p.stack[:len(p.stack)-1]
+	return name
+}
+
+// Scoped enters a named region and returns the function that leaves it,
+// for defer-friendly pairing at call sites:
+//
+//	defer p.Scoped("pressure_field")()
+func (p *Profile) Scoped(name string) func() {
+	p.Push(name)
+	return func() { p.Pop() }
 }
 
 // Current returns the innermost open region name, or "other" if none.
