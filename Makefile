@@ -1,12 +1,14 @@
 # Developer entry points. `make check` is the CI gate: vet, build, the
-# full test suite, and the race detector over the concurrency-heavy
-# packages (the virtual-time runtime and its tracing layer).
+# full test suite, the race detector over the concurrency-heavy
+# packages (the virtual-time runtime and its tracing layer), and one
+# iteration of each runtime benchmark so a change that breaks them
+# fails loudly.
 
 GO ?= go
 
-.PHONY: check vet build test race bench-trace
+.PHONY: check vet build test race bench-smoke bench-trace bench-mpi
 
-check: vet build test race
+check: vet build test race bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -20,6 +22,15 @@ test:
 race:
 	$(GO) test -race ./internal/mpi/ ./internal/trace/
 
+# One iteration of every runtime benchmark: catches benchmarks that no
+# longer compile or run, without the cost of a real measurement.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkRun' -benchtime 1x ./internal/mpi/
+
 # Re-measure the tracing overhead baseline recorded in BENCH_trace.json.
 bench-trace:
 	$(GO) test -run '^$$' -bench 'BenchmarkRunTrace' -benchmem -count 5 ./internal/mpi/
+
+# Re-measure the host fast-path baselines recorded in BENCH_mpi.json.
+bench-mpi:
+	$(GO) test -run '^$$' -bench 'BenchmarkRunP2P|BenchmarkRunCollectives' -benchmem -count 5 ./internal/mpi/

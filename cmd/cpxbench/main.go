@@ -23,11 +23,13 @@ func main() {
 	exp := flag.String("exp", "all", "experiment id (fig3, fig4ab, fig4c, fig5a, fig5b, fig6a, fig6bc, fig8, fig9, sensitivity, all)")
 	quick := flag.Bool("quick", false, "shrink sweeps for a fast smoke run")
 	verbose := flag.Bool("v", false, "print progress")
+	fastcoll := flag.Bool("fastcoll", false, "use analytic collectives (bitwise-identical virtual time, faster host runs)")
 	flag.Parse()
 
 	o := harness.DefaultOptions()
 	o.Quick = *quick
 	o.Verbose = *verbose
+	o.FastCollectives = *fastcoll
 
 	single := map[string]func() (*harness.Table, error){
 		"fig3":        o.Fig3,

@@ -6,6 +6,7 @@
 //	cpxsim -config engine.json
 //	cpxsim -demo            # run a built-in three-component demo
 //	cpxsim -demo -critpath -trace trace.json -commmatrix comm.csv -json summary.json
+//	cpxsim -config engine.json -fastcoll   # analytic collectives, same virtual times
 //
 // The export flags enable event tracing: -trace writes a Chrome/Perfetto
 // trace-event JSON timeline (open at ui.perfetto.dev), -commmatrix the
@@ -133,6 +134,7 @@ func main() {
 	commPath := flag.String("commmatrix", "", "write the rank×rank comm matrix CSV to FILE")
 	jsonPath := flag.String("json", "", "write a JSON run summary to FILE")
 	critPath := flag.Bool("critpath", false, "print the critical-path breakdown per component")
+	fastcoll := flag.Bool("fastcoll", false, "use analytic collectives (bitwise-identical virtual time, faster host runs; ignored when tracing)")
 	flag.Parse()
 
 	var jc jsonConfig
@@ -162,7 +164,7 @@ func main() {
 	traced := *tracePath != "" || *commPath != "" || *jsonPath != "" || *critPath
 	fmt.Printf("running coupled simulation: %d instances, %d coupling units, %d ranks total\n",
 		len(sim.Instances), len(sim.Units), sim.TotalRanks())
-	rep, err := sim.Run(mpi.Config{Machine: cluster.ARCHER2(), Trace: traced})
+	rep, err := sim.Run(mpi.Config{Machine: cluster.ARCHER2(), Trace: traced, FastCollectives: *fastcoll})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "cpxsim: %v\n", err)
 		os.Exit(1)

@@ -168,22 +168,34 @@ func (m *Machine) EffectiveInterBW() float64 {
 	return bw
 }
 
+// Link returns the Hockney alpha-beta terms of the path between two
+// ranks: the latency in seconds and the achievable bandwidth in
+// bytes/second, chosen by the rank-to-node mapping (self-message,
+// intra-node, or inter-node with NIC sharing). TransferTime and the mpi
+// runtime's analytic collective recurrences both evaluate message delays
+// as latency + bytes/bandwidth from these exact terms, which is what
+// keeps the two paths bitwise identical.
+func (m *Machine) Link(src, dst int) (latency, bandwidth float64) {
+	if src == dst {
+		// Self-message: memcpy through shared memory.
+		return 0, m.IntraNodeBW
+	}
+	if m.SameNode(src, dst) {
+		return m.IntraNodeLatency, m.IntraNodeBW
+	}
+	return m.InterNodeLatency, m.EffectiveInterBW()
+}
+
 // TransferTime returns the virtual-time network delay for a message of the
 // given size between two ranks: alpha + bytes/beta with intra-/inter-node
-// parameters chosen by the rank-to-node mapping. Sender and receiver CPU
-// overheads are charged separately by the runtime.
+// parameters chosen by the rank-to-node mapping (see Link). Sender and
+// receiver CPU overheads are charged separately by the runtime.
 func (m *Machine) TransferTime(src, dst, bytes int) float64 {
 	if bytes < 0 {
 		bytes = 0
 	}
-	if src == dst {
-		// Self-message: memcpy through shared memory.
-		return float64(bytes) / m.IntraNodeBW
-	}
-	if m.SameNode(src, dst) {
-		return m.IntraNodeLatency + float64(bytes)/m.IntraNodeBW
-	}
-	return m.InterNodeLatency + float64(bytes)/m.EffectiveInterBW()
+	lat, bw := m.Link(src, dst)
+	return lat + float64(bytes)/bw
 }
 
 // Nodes returns the number of nodes needed to host p ranks.

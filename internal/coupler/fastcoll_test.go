@@ -1,0 +1,43 @@
+package coupler
+
+import "testing"
+
+// TestFastCollectivesCoupledRunIdentical is the coupled-run differential
+// test for the runtime's analytic-collective fast path: a small
+// engine-style simulation (two instances plus a coupling unit, i.e. the
+// fig8 topology in miniature) must produce bitwise-identical per-rank
+// virtual clocks and accounting with mpi.Config.FastCollectives on and
+// off.
+func TestFastCollectivesCoupledRunIdentical(t *testing.T) {
+	slow, err := twoRowSim(Tree).Run(runCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fastCfg := runCfg()
+	fastCfg.FastCollectives = true
+	fast, err := twoRowSim(Tree).Run(fastCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.Elapsed != fast.Elapsed {
+		t.Errorf("Elapsed: p2p %v fast %v", slow.Elapsed, fast.Elapsed)
+	}
+	for r := range slow.Stats.Clocks {
+		if slow.Stats.Clocks[r] != fast.Stats.Clocks[r] {
+			t.Errorf("rank %d clock: p2p %v fast %v", r, slow.Stats.Clocks[r], fast.Stats.Clocks[r])
+		}
+		if slow.Stats.Compute[r] != fast.Stats.Compute[r] || slow.Stats.Comm[r] != fast.Stats.Comm[r] {
+			t.Errorf("rank %d compute/comm split differs between fast paths", r)
+		}
+	}
+	for i := range slow.InstanceTime {
+		if slow.InstanceTime[i] != fast.InstanceTime[i] {
+			t.Errorf("instance %d time: p2p %v fast %v", i, slow.InstanceTime[i], fast.InstanceTime[i])
+		}
+	}
+	for u := range slow.UnitTime {
+		if slow.UnitTime[u] != fast.UnitTime[u] {
+			t.Errorf("unit %d time: p2p %v fast %v", u, slow.UnitTime[u], fast.UnitTime[u])
+		}
+	}
+}

@@ -42,6 +42,10 @@ func (op Op) apply(dst, src []float64) {
 // Implemented with the dissemination algorithm: ceil(log2 p) rounds of
 // pairwise messages, so its virtual cost scales as the real thing does.
 func (c *Comm) Barrier() {
+	if c.world.fastColl {
+		c.rendezvous(collBarrier, 0, Sum, nil)
+		return
+	}
 	defer c.proc.pushOp("barrier")()
 	p := c.Size()
 	for k := 1; k < p; k *= 2 {
@@ -55,6 +59,9 @@ func (c *Comm) Barrier() {
 // Bcast distributes root's data to every rank using a binomial tree and
 // returns each rank's copy. Non-root callers may pass nil.
 func (c *Comm) Bcast(root int, data []float64) []float64 {
+	if c.world.fastColl {
+		return c.rendezvous(collBcast, root, Sum, data)
+	}
 	defer c.proc.pushOp("bcast")()
 	p := c.Size()
 	if p == 1 {
@@ -113,6 +120,9 @@ func (c *Comm) Reduce(root int, data []float64, op Op) []float64 {
 // returns the result on every rank. Uses recursive doubling, with a fold
 // step for non-power-of-two sizes (the MPICH algorithm family).
 func (c *Comm) Allreduce(data []float64, op Op) []float64 {
+	if c.world.fastColl {
+		return c.rendezvous(collAllreduce, 0, op, data)
+	}
 	defer c.proc.pushOp("allreduce")()
 	p := c.Size()
 	acc := make([]float64, len(data))

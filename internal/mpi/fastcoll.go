@@ -1,0 +1,300 @@
+package mpi
+
+import (
+	"fmt"
+	"sync"
+
+	"cpx/internal/trace"
+)
+
+// Analytic collectives (Config.FastCollectives). The message-level
+// Barrier/Bcast/Allreduce implementations exchange O(p log p) real
+// messages, and at fig8/fig9 scale the host cost of that traffic —
+// mailbox operations, goroutine wakeups, payload clones — dominates the
+// simulator's wall-clock. The fast path removes the messages entirely:
+// the ranks of a communicator rendezvous at a per-context station, the
+// last arrival replays the exact virtual-time recurrence the message
+// schedule induces against every member's clock, and all ranks leave
+// with their results.
+//
+// The replay is bitwise-faithful, not approximate: for each rank it
+// performs the same floating-point operations in the same order as the
+// message-level path (send overhead, departure + cluster.Link transfer
+// term, wait jump, receive overhead, reduction applies), so per-rank
+// clocks, compute/comm accounting, profiles and reduction results are
+// bit-for-bit identical with the fast path on or off. Differential tests
+// in fastpath_test.go enforce this. Tracing forces the message-level
+// path so event timelines and the comm matrix stay complete.
+
+type collKind uint8
+
+const (
+	collBarrier collKind = iota
+	collBcast
+	collAllreduce
+)
+
+func (k collKind) String() string {
+	switch k {
+	case collBarrier:
+		return "Barrier"
+	case collBcast:
+		return "Bcast"
+	case collAllreduce:
+		return "Allreduce"
+	}
+	return "?"
+}
+
+// station is the rendezvous point for one communicator's collectives.
+// Ranks park here until the communicator is complete; the last arrival
+// leads the replay while every other member is blocked in Wait, which is
+// what makes mutating their procs safe.
+type station struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	size int
+
+	arrived int
+	gen     uint64
+	comm    *Comm // any member's comm: used only for rank→world mapping
+	kind    collKind
+	root    int
+	op      Op
+	procs   []*proc
+	data    [][]float64 // per-rank inputs
+	out     [][]float64 // per-rank results
+
+	// Replay scratch, reused across collectives on this communicator.
+	arr  []float64   // pending arrival time per rank
+	snap [][]float64 // pre-round payload snapshots (allreduce)
+}
+
+// stationFor returns the rendezvous station of c's context, creating it
+// on first use.
+func (w *World) stationFor(c *Comm) *station {
+	w.stMu.Lock()
+	defer w.stMu.Unlock()
+	st := w.stations[c.ctx]
+	if st == nil {
+		n := c.Size()
+		st = &station{
+			size:  n,
+			procs: make([]*proc, n),
+			data:  make([][]float64, n),
+			out:   make([][]float64, n),
+			arr:   make([]float64, n),
+		}
+		st.cond = sync.NewCond(&st.mu)
+		w.stations[c.ctx] = st
+	}
+	return st
+}
+
+// interrupt wakes parked ranks so they can observe an abort.
+func (st *station) interrupt() {
+	st.mu.Lock()
+	st.cond.Broadcast()
+	st.mu.Unlock()
+}
+
+// rendezvous parks the calling rank until all members of c have entered
+// the same collective, replays the schedule once complete, and returns
+// this rank's result.
+func (c *Comm) rendezvous(kind collKind, root int, op Op, data []float64) []float64 {
+	st := c.world.stationFor(c)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.arrived == 0 {
+		st.kind, st.root, st.op = kind, root, op
+	} else if st.kind != kind || st.root != root || st.op != op {
+		panic(fmt.Sprintf("mpi: mismatched collectives on one communicator: rank %d entered %v, others %v",
+			c.rank, kind, st.kind))
+	}
+	st.procs[c.rank] = c.proc
+	st.data[c.rank] = data
+	st.comm = c
+	st.arrived++
+	if st.arrived < st.size {
+		myGen := st.gen
+		for st.gen == myGen {
+			if c.world.aborted() {
+				panic(errAborted)
+			}
+			st.cond.Wait()
+		}
+	} else {
+		st.replay(c.world)
+		st.arrived = 0
+		st.gen++
+		st.cond.Broadcast()
+	}
+	res := st.out[c.rank]
+	st.out[c.rank] = nil
+	st.data[c.rank] = nil
+	return res
+}
+
+// replay runs the analytic recurrence for the pending collective.
+// Called with st.mu held and every member parked.
+func (st *station) replay(w *World) {
+	switch st.kind {
+	case collBarrier:
+		st.replayBarrier(w)
+	case collBcast:
+		st.replayBcast(w)
+	case collAllreduce:
+		st.replayAllreduce(w)
+	}
+}
+
+// replayBarrier mirrors the dissemination barrier: ceil(log2 p) rounds,
+// round k sending to rank+k and receiving from rank-k. Within a round
+// every rank charges its send first (stamping the partner's arrival),
+// then completes its receive — exactly each rank's program order.
+func (st *station) replayBarrier(w *World) {
+	p := st.size
+	mach := w.machine
+	wr := st.comm.worldRankOf
+	for k := 1; k < p; k *= 2 {
+		for r := 0; r < p; r++ {
+			pr := st.procs[r]
+			to := (r + k) % p
+			pr.chargeCommAs(mach.SendOverhead, trace.EvSend, wr(to), 0, tagCollective)
+			st.arr[to] = pr.clock + mach.TransferTime(wr(r), wr(to), 0)
+		}
+		for r := 0; r < p; r++ {
+			pr := st.procs[r]
+			pr.advanceTo(st.arr[r])
+			pr.chargeCommAs(mach.RecvOverhead, trace.EvRecv, wr((r-k+p)%p), 0, tagCollective)
+		}
+	}
+}
+
+// replayBcast mirrors the rotated binomial tree. Ranks are processed in
+// virtual-rank order, so a parent's send departures are stamped before
+// its children complete their receives.
+func (st *station) replayBcast(w *World) {
+	p := st.size
+	root := st.root
+	data := st.data[root]
+	if p == 1 {
+		st.out[root] = data
+		return
+	}
+	mach := w.machine
+	wr := st.comm.worldRankOf
+	bytes := 8 * len(data)
+	for v := 0; v < p; v++ {
+		r := (v + root) % p
+		pr := st.procs[r]
+		mask := 1
+		for mask < p {
+			if v&mask != 0 {
+				parent := (v - mask + root) % p
+				pr.advanceTo(st.arr[v])
+				pr.chargeCommAs(mach.RecvOverhead, trace.EvRecv, wr(parent), bytes, tagCollective)
+				break
+			}
+			mask <<= 1
+		}
+		for mask >>= 1; mask > 0; mask >>= 1 {
+			if v+mask < p {
+				child := (v + mask + root) % p
+				pr.chargeCommAs(mach.SendOverhead, trace.EvSend, wr(child), bytes, tagCollective)
+				st.arr[v+mask] = pr.clock + mach.TransferTime(wr(r), wr(child), bytes)
+			}
+		}
+		// The message-level path hands every non-root rank a private
+		// clone made by its parent's send; the root returns its own
+		// slice unchanged.
+		if v == 0 {
+			st.out[r] = data
+		} else {
+			st.out[r] = pr.arena.clone(data)
+		}
+	}
+}
+
+// replayAllreduce mirrors recursive doubling with the non-power-of-two
+// fold: ranks past the largest power of two fold their data onto a low
+// partner, the low ranks run log2 rounds of pairwise exchanges, and the
+// fold partners get the result back. Payloads are snapshotted before
+// each round's applies, as the message-level clones are.
+func (st *station) replayAllreduce(w *World) {
+	p := st.size
+	mach := w.machine
+	wr := st.comm.worldRankOf
+	op := st.op
+	bytes := 0
+	// acc per rank: the message-level path starts from a fresh copy of
+	// the rank's input and returns it to the caller.
+	for r := 0; r < p; r++ {
+		acc := make([]float64, len(st.data[r]))
+		copy(acc, st.data[r])
+		st.out[r] = acc
+		bytes = 8 * len(acc)
+	}
+	if p == 1 {
+		return
+	}
+	pow2 := 1
+	for pow2*2 <= p {
+		pow2 *= 2
+	}
+	extra := p - pow2
+
+	// Fold: high ranks charge their entry send...
+	for r := pow2; r < p; r++ {
+		pr := st.procs[r]
+		pr.chargeCommAs(mach.SendOverhead, trace.EvSend, wr(r-pow2), bytes, tagCollective)
+		st.arr[r-pow2] = pr.clock + mach.TransferTime(wr(r), wr(r-pow2), bytes)
+	}
+	// ...and their low partners receive and apply.
+	for r := 0; r < extra; r++ {
+		pr := st.procs[r]
+		pr.advanceTo(st.arr[r])
+		pr.chargeCommAs(mach.RecvOverhead, trace.EvRecv, wr(r+pow2), bytes, tagCollective)
+		op.apply(st.out[r], st.out[r+pow2])
+	}
+
+	// Recursive doubling among the low pow2 ranks.
+	if cap(st.snap) < pow2 {
+		st.snap = make([][]float64, pow2)
+	}
+	snap := st.snap[:pow2]
+	for k := 1; k < pow2; k *= 2 {
+		for r := 0; r < pow2; r++ {
+			pr := st.procs[r]
+			partner := r ^ k
+			pr.chargeCommAs(mach.SendOverhead, trace.EvSend, wr(partner), bytes, tagCollective)
+			st.arr[partner] = pr.clock + mach.TransferTime(wr(r), wr(partner), bytes)
+			if len(snap[r]) < len(st.out[r]) {
+				snap[r] = make([]float64, len(st.out[r]))
+			}
+			copy(snap[r][:len(st.out[r])], st.out[r])
+		}
+		for r := 0; r < pow2; r++ {
+			pr := st.procs[r]
+			partner := r ^ k
+			pr.advanceTo(st.arr[r])
+			pr.chargeCommAs(mach.RecvOverhead, trace.EvRecv, wr(partner), bytes, tagCollective)
+			op.apply(st.out[r], snap[partner][:len(st.out[r])])
+		}
+	}
+
+	// Unfold: results travel back to the high ranks.
+	for r := 0; r < extra; r++ {
+		pr := st.procs[r]
+		pr.chargeCommAs(mach.SendOverhead, trace.EvSend, wr(r+pow2), bytes, tagCollective)
+		st.arr[r+pow2] = pr.clock + mach.TransferTime(wr(r), wr(r+pow2), bytes)
+	}
+	for r := pow2; r < p; r++ {
+		pr := st.procs[r]
+		pr.advanceTo(st.arr[r])
+		pr.chargeCommAs(mach.RecvOverhead, trace.EvRecv, wr(r-pow2), bytes, tagCollective)
+		// The message-level path returns the received clone of the low
+		// partner's final acc.
+		copy(st.out[r], st.out[r-pow2])
+	}
+}

@@ -1,0 +1,266 @@
+package mpi
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"cpx/internal/cluster"
+)
+
+func fastCfg() Config {
+	cfg := testCfg()
+	cfg.FastCollectives = true
+	return cfg
+}
+
+// mixedProgram exercises every fast-path collective interleaved with
+// imbalanced compute and point-to-point traffic, on the world
+// communicator and on a Split-derived subcommunicator. Per-rank results
+// are reduced into the returned checksum slice so value identity is
+// checked alongside clock identity.
+func mixedProgram(sums []float64) func(*Comm) error {
+	return func(c *Comm) error {
+		r := c.Rank()
+		p := c.Size()
+		check := 0.0
+		for iter := 0; iter < 3; iter++ {
+			c.ComputeSeconds(1e-4 * float64((r+iter)%p+1))
+			got := c.Allreduce([]float64{float64(r + iter), 1}, Sum)
+			check += got[0] + got[1]
+			c.Send((r+1)%p, iter, []float64{float64(r)})
+			d, _, _ := c.Recv((r+p-1)%p, iter)
+			check += d[0]
+			c.Barrier()
+			b := c.Bcast(iter%p, []float64{float64(r) * 1.5, check})
+			check += b[0]
+			check += c.AllreduceScalar(float64(r)*0.25, Max)
+			check += c.AllreduceScalar(float64(r)*0.25, Min)
+		}
+		if p > 1 {
+			sub := c.Split(r%2, r)
+			c.ComputeSeconds(1e-5 * float64(r+1))
+			got := sub.Allreduce([]float64{check}, Sum)
+			check += got[0]
+			sub.Barrier()
+			check += sub.Bcast(0, []float64{float64(sub.Rank())})[0]
+		}
+		sums[r] = check
+		return nil
+	}
+}
+
+func runMixed(t *testing.T, p int, cfg Config) (*Stats, []float64) {
+	t.Helper()
+	sums := make([]float64, p)
+	st, err := Run(p, cfg, mixedProgram(sums))
+	if err != nil {
+		t.Fatalf("Run(%d, fast=%v): %v", p, cfg.FastCollectives, err)
+	}
+	return st, sums
+}
+
+// assertStatsIdentical requires bitwise equality of every per-rank
+// virtual-time quantity — not approximate equality. The fast paths must
+// be indistinguishable from the message-level implementation.
+func assertStatsIdentical(t *testing.T, label string, a, b *Stats, sa, sb []float64) {
+	t.Helper()
+	if a.Elapsed != b.Elapsed {
+		t.Errorf("%s: Elapsed %v vs %v", label, a.Elapsed, b.Elapsed)
+	}
+	for r := range a.Clocks {
+		if a.Clocks[r] != b.Clocks[r] {
+			t.Errorf("%s: rank %d clock %v vs %v", label, r, a.Clocks[r], b.Clocks[r])
+		}
+		if a.Compute[r] != b.Compute[r] {
+			t.Errorf("%s: rank %d compute %v vs %v", label, r, a.Compute[r], b.Compute[r])
+		}
+		if a.Comm[r] != b.Comm[r] {
+			t.Errorf("%s: rank %d comm %v vs %v", label, r, a.Comm[r], b.Comm[r])
+		}
+		if sa[r] != sb[r] {
+			t.Errorf("%s: rank %d result checksum %v vs %v", label, r, sa[r], sb[r])
+		}
+	}
+}
+
+// TestFastCollectivesBitwiseIdentical is the tentpole acceptance test:
+// per-rank clocks, accounting and collective results must be bitwise
+// identical with FastCollectives on and off, including non-power-of-two
+// sizes (the allreduce fold path) and Split subcommunicators.
+func TestFastCollectivesBitwiseIdentical(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 5, 8, 13, 16} {
+		slow, slowSums := runMixed(t, p, testCfg())
+		fast, fastSums := runMixed(t, p, fastCfg())
+		assertStatsIdentical(t, "fast vs p2p", slow, fast, slowSums, fastSums)
+	}
+}
+
+// TestFastCollectivesProfileIdentical: with profiling on, the per-region
+// comm attribution must also be reproduced exactly.
+func TestFastCollectivesProfileIdentical(t *testing.T) {
+	prog := func(c *Comm) error {
+		c.Profile().Push("solve")
+		c.ComputeSeconds(1e-4 * float64(c.Rank()+1))
+		c.Allreduce([]float64{1, 2}, Sum)
+		c.Barrier()
+		c.Profile().Pop()
+		return nil
+	}
+	slowCfg := testCfg()
+	slowCfg.Profile = true
+	fastCfg := slowCfg
+	fastCfg.FastCollectives = true
+	slow, err := Run(6, slowCfg, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := Run(6, fastCfg, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range slow.Profiles {
+		se, fe := slow.Profiles[r].Entry("solve"), fast.Profiles[r].Entry("solve")
+		if se.Comm != fe.Comm || se.Compute != fe.Compute {
+			t.Errorf("rank %d profile: p2p %+v fast %+v", r, se, fe)
+		}
+	}
+}
+
+// TestTraceForcesMessageLevelCollectives: tracing needs complete event
+// timelines, so FastCollectives must be ignored when Trace is set.
+func TestTraceForcesMessageLevelCollectives(t *testing.T) {
+	cfg := fastCfg()
+	cfg.Trace = true
+	st, err := Run(4, cfg, func(c *Comm) error {
+		c.Allreduce([]float64{1}, Sum)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs := 0
+	for _, tl := range st.Timelines {
+		msgs += len(tl.Events)
+	}
+	if msgs == 0 {
+		t.Fatal("traced run with FastCollectives recorded no events")
+	}
+	if st.CommMatrix == nil || len(st.CommMatrix.Edges) == 0 {
+		t.Fatal("traced run with FastCollectives recorded no comm-matrix traffic")
+	}
+}
+
+// TestClocksIdenticalAcrossHostParallelism: virtual time must not depend
+// on host scheduling. Run the same program single-threaded and with full
+// host parallelism, fast paths on and off, and require bitwise equality.
+func TestClocksIdenticalAcrossHostParallelism(t *testing.T) {
+	const p = 8
+	for _, cfg := range []Config{testCfg(), fastCfg()} {
+		parallel, parSums := runMixed(t, p, cfg)
+		prev := runtime.GOMAXPROCS(1)
+		serial, serSums := runMixed(t, p, cfg)
+		runtime.GOMAXPROCS(prev)
+		assertStatsIdentical(t, "GOMAXPROCS=1 vs parallel", parallel, serial, parSums, serSums)
+	}
+}
+
+// TestWatchdogAbortsRunNotProcess: the watchdog must surface as an error
+// from Run — not panic in a timer goroutine and kill the process.
+func TestWatchdogAbortsRunNotProcess(t *testing.T) {
+	cfg := Config{Machine: cluster.SmallCluster(), Watchdog: 50 * time.Millisecond}
+	_, err := Run(2, cfg, func(c *Comm) error {
+		if c.Rank() == 1 {
+			c.Recv(0, 99) // never sent: deadlock until the watchdog fires
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("deadlocked run returned no error")
+	}
+	if !strings.Contains(err.Error(), "watchdog") {
+		t.Fatalf("err = %v, want a watchdog error", err)
+	}
+}
+
+// TestWatchdogAbortsFastCollectiveWait: ranks parked at a rendezvous
+// station must also be woken by the abort.
+func TestWatchdogAbortsFastCollectiveWait(t *testing.T) {
+	cfg := fastCfg()
+	cfg.Watchdog = 50 * time.Millisecond
+	_, err := Run(3, cfg, func(c *Comm) error {
+		if c.Rank() != 0 {
+			c.Barrier() // rank 0 never joins
+		}
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "watchdog") {
+		t.Fatalf("err = %v, want a watchdog error", err)
+	}
+}
+
+// TestMismatchedFastCollectivesFailLoudly: with the fast path a
+// mismatched collective (ranks entering different operations on one
+// communicator) is detectable; it must fail the run, not hang it.
+func TestMismatchedFastCollectivesFailLoudly(t *testing.T) {
+	cfg := fastCfg()
+	cfg.Watchdog = 5 * time.Second
+	_, err := Run(2, cfg, func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.Barrier()
+		} else {
+			c.Allreduce([]float64{1}, Sum)
+		}
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "mismatched collectives") {
+		t.Fatalf("err = %v, want mismatched-collectives error", err)
+	}
+}
+
+// TestSendVirtualChargesVirtualBytes guards the deduplicated send path:
+// SendVirtual must still charge the virtual size, not the payload size.
+func TestSendVirtualChargesVirtualBytes(t *testing.T) {
+	elapsed := func(virtual int) float64 {
+		st := run(t, 2, func(c *Comm) error {
+			if c.Rank() == 0 {
+				c.SendVirtual(1, 0, []float64{1}, virtual)
+			} else {
+				d, _, _ := c.Recv(0, 0)
+				if d[0] != 1 {
+					t.Errorf("payload = %v, want [1]", d)
+				}
+			}
+			return nil
+		})
+		return st.Elapsed
+	}
+	if !(elapsed(10_000_000) > elapsed(8)) {
+		t.Error("larger virtual size did not cost more virtual time")
+	}
+}
+
+// TestRecvAllDrainsManyToOne exercises the wildcard (AnySource) path of
+// the indexed mailbox: every sender's payload must arrive exactly once
+// and the clock must advance to the latest arrival.
+func TestRecvAllDrainsManyToOne(t *testing.T) {
+	const p = 16
+	run(t, p, func(c *Comm) error {
+		if c.Rank() == 0 {
+			data, sources := c.RecvAll(p-1, 7)
+			for i := range data {
+				if sources[i] != i+1 {
+					t.Errorf("sources[%d] = %d, want %d", i, sources[i], i+1)
+				}
+				if len(data[i]) != 1 || data[i][0] != float64(i+1) {
+					t.Errorf("data[%d] = %v", i, data[i])
+				}
+			}
+		} else {
+			c.ComputeSeconds(1e-5 * float64(c.Rank()))
+			c.Send(0, 7, []float64{float64(c.Rank())})
+		}
+		return nil
+	})
+}

@@ -47,79 +47,47 @@ const AnyTag = -1
 // AnySource matches a message from any source rank in Recv.
 const AnySource = -1
 
-// message is an in-flight point-to-point message.
+// message is an in-flight point-to-point message. Float payloads travel
+// in the dedicated f64 field so the dominant Send/Recv path never boxes
+// a slice into an interface; []int and []byte use the generic payload
+// field. Structs are pooled (pool.go): the receive that consumes a
+// message returns it for reuse.
 type message struct {
-	ctx       int     // communicator context id
-	src       int     // source rank within the communicator
-	srcWorld  int     // source world rank (for tracing/causality)
-	tag       int     // message tag
-	payload   any     // []float64, []int or []byte (a private copy)
-	bytes     int     // payload size used for network cost
-	departure float64 // virtual time the message left the sender
-	arrival   float64 // virtual time the message reaches the receiver
-}
-
-// mailbox is the per-rank incoming message queue.
-type mailbox struct {
-	mu   sync.Mutex
-	cond *sync.Cond
-	msgs []*message
-}
-
-func newMailbox() *mailbox {
-	b := &mailbox{}
-	b.cond = sync.NewCond(&b.mu)
-	return b
-}
-
-func (b *mailbox) put(m *message) {
-	b.mu.Lock()
-	b.msgs = append(b.msgs, m)
-	b.mu.Unlock()
-	b.cond.Broadcast()
-}
-
-// take removes and returns the first message matching (ctx, src, tag),
-// blocking until one is available or the world aborts.
-func (b *mailbox) take(w *World, ctx, src, tag int) *message {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	for {
-		for i, m := range b.msgs {
-			if m.ctx != ctx {
-				continue
-			}
-			if src != AnySource && m.src != src {
-				continue
-			}
-			if tag != AnyTag && m.tag != tag {
-				continue
-			}
-			b.msgs = append(b.msgs[:i], b.msgs[i+1:]...)
-			return m
-		}
-		if w.aborted() {
-			panic(errAborted)
-		}
-		b.cond.Wait()
-	}
+	ctx       int       // communicator context id
+	src       int       // source rank within the communicator
+	srcWorld  int       // source world rank (for tracing/causality)
+	tag       int       // message tag
+	f64       []float64 // float payload (a private copy), nil otherwise
+	payload   any       // []int or []byte payload (a private copy)
+	bytes     int       // payload size used for network cost
+	departure float64   // virtual time the message left the sender
+	arrival   float64   // virtual time the message reaches the receiver
+	seq       uint64    // mailbox arrival order, stamped by put
 }
 
 var errAborted = errors.New("mpi: world aborted due to failure on another rank")
 
 // World holds the shared state of one simulated job.
 type World struct {
-	size    int
-	machine *cluster.Machine
-	boxes   []*mailbox
-	procs   []*proc
+	size     int
+	machine  *cluster.Machine
+	boxes    []*mailbox
+	procs    []*proc
+	fastColl bool // Config.FastCollectives && !Config.Trace
 
 	ctxMu   sync.Mutex
 	ctxs    map[ctxKey]int
 	nextCtx int
 
+	stMu     sync.Mutex
+	stations map[int]*station // analytic-collective rendezvous, by ctx
+
 	abortMu sync.Mutex
 	abort   bool
+
+	failMu   sync.Mutex
+	finished bool  // set once all ranks returned; silences the watchdog
+	failErr  error // watchdog (or other runtime-level) failure
 }
 
 type ctxKey struct {
@@ -137,8 +105,30 @@ func (w *World) setAborted() {
 	w.abort = true
 	w.abortMu.Unlock()
 	for _, b := range w.boxes {
-		b.cond.Broadcast()
+		b.interrupt()
 	}
+	w.stMu.Lock()
+	stations := make([]*station, 0, len(w.stations))
+	for _, st := range w.stations {
+		stations = append(stations, st)
+	}
+	w.stMu.Unlock()
+	for _, st := range stations {
+		st.interrupt()
+	}
+}
+
+// fail records a runtime-level failure (e.g. the watchdog firing) and
+// aborts the world, unless the run has already completed.
+func (w *World) fail(err error) {
+	w.failMu.Lock()
+	if w.finished || w.failErr != nil {
+		w.failMu.Unlock()
+		return
+	}
+	w.failErr = err
+	w.failMu.Unlock()
+	w.setAborted()
 }
 
 // contextFor deterministically assigns a fresh context id for a split,
@@ -168,6 +158,7 @@ type proc struct {
 	clock     float64
 	compute   float64
 	comm      float64
+	arena     f64Arena // outgoing payload clones (owner-goroutine only)
 	profile   *trace.Profile
 	// Event-tracing state, nil/empty unless Config.Trace is set. comms is
 	// this rank's sparse comm-matrix row (keyed by destination world
@@ -225,6 +216,23 @@ func (p *proc) waitUntil(m *message) {
 		p.timeline.Add(trace.Event{Kind: trace.EvWait, T0: t0, T1: m.arrival,
 			Region: p.profile.Current(), Op: p.op,
 			Peer: m.srcWorld, Bytes: m.bytes, Tag: m.tag, SendT: m.departure})
+	}
+}
+
+// advanceTo performs the waitUntil clock/accounting updates for a
+// message that exists only analytically (the fast-collective path, which
+// never runs when tracing is on). The floating-point operations and
+// their order are identical to waitUntil's, which is what keeps the two
+// paths bitwise identical.
+func (p *proc) advanceTo(arrival float64) {
+	if arrival <= p.clock {
+		return
+	}
+	wait := arrival - p.clock
+	p.clock = arrival
+	p.comm += wait
+	if p.profile != nil {
+		p.profile.AddComm(wait)
 	}
 }
 
@@ -354,11 +362,11 @@ func (c *Comm) ChargeCommSeconds(s float64) {
 	c.proc.chargeComm(s)
 }
 
-// payloadBytes reports the wire size of a supported payload.
+// payloadBytes reports the wire size of a supported generic payload.
+// Float payloads never pass through here: they travel in message.f64 via
+// sendF64, avoiding the interface boxing.
 func payloadBytes(data any) int {
 	switch d := data.(type) {
-	case []float64:
-		return 8 * len(d)
 	case []int:
 		return 8 * len(d)
 	case []byte:
@@ -373,10 +381,6 @@ func payloadBytes(data any) int {
 // clonePayload copies the payload so sender and receiver never alias.
 func clonePayload(data any) any {
 	switch d := data.(type) {
-	case []float64:
-		out := make([]float64, len(d))
-		copy(out, d)
-		return out
 	case []int:
 		out := make([]int, len(d))
 		copy(out, d)
@@ -398,25 +402,46 @@ func (c *Comm) checkPeer(r int, op string) {
 	}
 }
 
-// sendRaw performs an eager buffered send with virtual-time stamping.
-func (c *Comm) sendRaw(to, tag int, data any) {
-	c.checkPeer(to, "Send")
-	m := c.world.machine
-	bytes := payloadBytes(data)
+// finishSend stamps virtual times onto a prepared message and delivers
+// it. chargedBytes is the wire size used for both the CPU overhead
+// accounting and the network delay; it normally equals the payload size
+// but SendVirtual substitutes the modelled full-scale size. This is the
+// single implementation behind Send, SendInts, SendBytes and
+// SendVirtual.
+func (c *Comm) finishSend(to, tag int, m *message, chargedBytes int) {
+	mach := c.world.machine
 	srcWorld := c.proc.worldRank
 	dstWorld := c.worldRankOf(to)
-	c.proc.chargeCommAs(m.SendOverhead, trace.EvSend, dstWorld, bytes, tag)
-	c.proc.countMessage(dstWorld, bytes)
+	c.proc.chargeCommAs(mach.SendOverhead, trace.EvSend, dstWorld, chargedBytes, tag)
+	c.proc.countMessage(dstWorld, chargedBytes)
 	departure := c.proc.clock
-	arrival := departure + m.TransferTime(srcWorld, dstWorld, bytes)
-	c.world.boxes[dstWorld].put(&message{
-		ctx: c.ctx, src: c.rank, srcWorld: srcWorld, tag: tag,
-		payload: clonePayload(data), bytes: bytes,
-		departure: departure, arrival: arrival,
-	})
+	m.ctx, m.src, m.srcWorld, m.tag = c.ctx, c.rank, srcWorld, tag
+	m.bytes = chargedBytes
+	m.departure = departure
+	m.arrival = departure + mach.TransferTime(srcWorld, dstWorld, chargedBytes)
+	c.world.boxes[dstWorld].put(m)
+}
+
+// sendF64 is the float64 fast path: the clone comes from the rank's
+// payload arena and the slice never passes through an interface.
+func (c *Comm) sendF64(to, tag int, data []float64, chargedBytes int, op string) {
+	c.checkPeer(to, op)
+	m := getMessage()
+	m.f64 = c.proc.arena.clone(data)
+	c.finishSend(to, tag, m, chargedBytes)
+}
+
+// sendRaw performs an eager buffered send of an []int or []byte payload.
+func (c *Comm) sendRaw(to, tag int, data any) {
+	c.checkPeer(to, "Send")
+	m := getMessage()
+	m.payload = clonePayload(data)
+	c.finishSend(to, tag, m, payloadBytes(data))
 }
 
 // recvRaw blocks for a matching message and advances the virtual clock.
+// The returned message must be handed back via releaseMessage once its
+// payload has been taken.
 func (c *Comm) recvRaw(from, tag int) *message {
 	if from != AnySource {
 		c.checkPeer(from, "Recv")
@@ -428,8 +453,22 @@ func (c *Comm) recvRaw(from, tag int) *message {
 	return msg
 }
 
+// recvF64 receives a float payload, returning the message struct to the
+// pool.
+func (c *Comm) recvF64(from, tag int) ([]float64, int, int) {
+	m := c.recvRaw(from, tag)
+	if m.payload != nil {
+		panic(fmt.Sprintf("mpi: Recv type mismatch: got %T, want []float64", m.payload))
+	}
+	d, src, mtag := m.f64, m.src, m.tag
+	releaseMessage(m)
+	return d, src, mtag
+}
+
 // Send transmits a []float64 to rank `to` with the given tag.
-func (c *Comm) Send(to, tag int, data []float64) { c.sendRaw(to, tag, data) }
+func (c *Comm) Send(to, tag int, data []float64) {
+	c.sendF64(to, tag, data, 8*len(data), "Send")
+}
 
 // RecvAll receives n messages of the given tag from any sources, as if
 // posted as n receives completed by one MPI_Waitall: the virtual clock
@@ -443,20 +482,20 @@ func (c *Comm) RecvAll(n, tag int) (data [][]float64, sources []int) {
 		payload []float64
 	}
 	msgs := make([]got, 0, n)
-	var latest *message // the message whose arrival completes the Waitall
+	var latest message // the message whose arrival completes the Waitall
 	for i := 0; i < n; i++ {
 		m := c.world.boxes[c.proc.worldRank].take(c.world, c.ctx, AnySource, tag)
-		d, ok := m.payload.([]float64)
-		if !ok && m.payload != nil {
+		if m.payload != nil {
 			panic(fmt.Sprintf("mpi: RecvAll type mismatch: got %T, want []float64", m.payload))
 		}
-		msgs = append(msgs, got{m.src, m.arrival, d})
-		if latest == nil || m.arrival > latest.arrival {
-			latest = m
+		msgs = append(msgs, got{m.src, m.arrival, m.f64})
+		if i == 0 || m.arrival > latest.arrival {
+			latest = *m
 		}
+		releaseMessage(m)
 	}
-	if latest != nil {
-		c.proc.waitUntil(latest)
+	if n > 0 {
+		c.proc.waitUntil(&latest)
 	}
 	c.proc.chargeCommAs(float64(n)*c.world.machine.RecvOverhead, trace.EvRecv, -1, 0, tag)
 	sort.Slice(msgs, func(a, b int) bool {
@@ -479,30 +518,13 @@ func (c *Comm) RecvAll(n, tag int) (data [][]float64, sources []int) {
 // scaled-down working sets use it so message costs reflect the true
 // problem size (DESIGN.md §5.2).
 func (c *Comm) SendVirtual(to, tag int, data []float64, virtualBytes int) {
-	c.checkPeer(to, "SendVirtual")
-	m := c.world.machine
-	srcWorld := c.proc.worldRank
-	dstWorld := c.worldRankOf(to)
-	c.proc.chargeCommAs(m.SendOverhead, trace.EvSend, dstWorld, virtualBytes, tag)
-	c.proc.countMessage(dstWorld, virtualBytes)
-	departure := c.proc.clock
-	arrival := departure + m.TransferTime(srcWorld, dstWorld, virtualBytes)
-	c.world.boxes[dstWorld].put(&message{
-		ctx: c.ctx, src: c.rank, srcWorld: srcWorld, tag: tag,
-		payload: clonePayload(data), bytes: virtualBytes,
-		departure: departure, arrival: arrival,
-	})
+	c.sendF64(to, tag, data, virtualBytes, "SendVirtual")
 }
 
 // Recv receives a []float64 from rank `from` (or AnySource) with the given
 // tag (or AnyTag). It returns the payload, its source rank and tag.
 func (c *Comm) Recv(from, tag int) ([]float64, int, int) {
-	m := c.recvRaw(from, tag)
-	d, ok := m.payload.([]float64)
-	if !ok && m.payload != nil {
-		panic(fmt.Sprintf("mpi: Recv type mismatch: got %T, want []float64", m.payload))
-	}
-	return d, m.src, m.tag
+	return c.recvF64(from, tag)
 }
 
 // SendInts transmits a []int.
@@ -511,11 +533,16 @@ func (c *Comm) SendInts(to, tag int, data []int) { c.sendRaw(to, tag, data) }
 // RecvInts receives a []int.
 func (c *Comm) RecvInts(from, tag int) ([]int, int, int) {
 	m := c.recvRaw(from, tag)
+	if m.f64 != nil {
+		panic("mpi: RecvInts type mismatch: got []float64, want []int")
+	}
 	d, ok := m.payload.([]int)
 	if !ok && m.payload != nil {
 		panic(fmt.Sprintf("mpi: RecvInts type mismatch: got %T, want []int", m.payload))
 	}
-	return d, m.src, m.tag
+	src, mtag := m.src, m.tag
+	releaseMessage(m)
+	return d, src, mtag
 }
 
 // SendBytes transmits a raw []byte.
@@ -524,11 +551,16 @@ func (c *Comm) SendBytes(to, tag int, data []byte) { c.sendRaw(to, tag, data) }
 // RecvBytes receives a raw []byte.
 func (c *Comm) RecvBytes(from, tag int) ([]byte, int, int) {
 	m := c.recvRaw(from, tag)
+	if m.f64 != nil {
+		panic("mpi: RecvBytes type mismatch: got []float64, want []byte")
+	}
 	d, ok := m.payload.([]byte)
 	if !ok && m.payload != nil {
 		panic(fmt.Sprintf("mpi: RecvBytes type mismatch: got %T, want []byte", m.payload))
 	}
-	return d, m.src, m.tag
+	src, mtag := m.src, m.tag
+	releaseMessage(m)
+	return d, src, mtag
 }
 
 // SendRecv sends to `to` and receives from `from` in one step, the staple
@@ -663,6 +695,17 @@ type Config struct {
 	// report dropped events and are rejected by the critical-path
 	// analysis rather than yielding a truncated chain.
 	TraceMaxEvents int
+	// FastCollectives computes Barrier, Bcast and Allreduce centrally
+	// instead of through point-to-point messages: the ranks rendezvous,
+	// one goroutine replays the exact clock recurrence the message-level
+	// algorithm induces (same floating-point operations in the same
+	// order), and everyone leaves with bitwise-identical clocks, comm
+	// accounting and results. This removes the mailbox and scheduler
+	// traffic that dominates host time in collective-heavy runs at high
+	// rank counts. Ignored when Trace is set: tracing forces the
+	// message-level path so event timelines and the comm matrix stay
+	// complete.
+	FastCollectives bool
 	// Watchdog aborts the run if it exceeds this much *host* time,
 	// catching deadlocked communication patterns in tests. Defaults to
 	// 120 s; negative disables.
@@ -684,11 +727,13 @@ func Run(size int, cfg Config, fn func(*Comm) error) (*Stats, error) {
 		return nil, err
 	}
 	w := &World{
-		size:    size,
-		machine: m,
-		boxes:   make([]*mailbox, size),
-		procs:   make([]*proc, size),
-		ctxs:    make(map[ctxKey]int),
+		size:     size,
+		machine:  m,
+		boxes:    make([]*mailbox, size),
+		procs:    make([]*proc, size),
+		ctxs:     make(map[ctxKey]int),
+		stations: make(map[int]*station),
+		fastColl: cfg.FastCollectives && !cfg.Trace,
 	}
 	for i := range w.boxes {
 		w.boxes[i] = newMailbox()
@@ -706,14 +751,13 @@ func Run(size int, cfg Config, fn func(*Comm) error) (*Stats, error) {
 	if watchdog == 0 {
 		watchdog = 120 * time.Second
 	}
-	done := make(chan struct{})
 	if watchdog > 0 {
+		// On expiry the watchdog aborts the world through the normal
+		// error path: blocked ranks wake, unwind via errAborted, and Run
+		// returns the watchdog error. It must never panic — a panic in a
+		// timer goroutine would kill the whole process.
 		t := time.AfterFunc(watchdog, func() {
-			select {
-			case <-done:
-			default:
-				panic(fmt.Sprintf("mpi: watchdog: run of %d ranks exceeded %v host time (deadlock?)", size, watchdog))
-			}
+			w.fail(fmt.Errorf("mpi: watchdog: run of %d ranks exceeded %v host time (deadlock?)", size, watchdog))
 		})
 		defer t.Stop()
 	}
@@ -742,7 +786,10 @@ func Run(size int, cfg Config, fn func(*Comm) error) (*Stats, error) {
 		}(r)
 	}
 	wg.Wait()
-	close(done)
+	w.failMu.Lock()
+	w.finished = true
+	runtimeErr := w.failErr
+	w.failMu.Unlock()
 
 	var firstErr error
 	for _, e := range errs {
@@ -750,6 +797,9 @@ func Run(size int, cfg Config, fn func(*Comm) error) (*Stats, error) {
 			firstErr = e
 			break
 		}
+	}
+	if firstErr == nil {
+		firstErr = runtimeErr
 	}
 	if firstErr == nil && w.aborted() {
 		firstErr = errAborted
