@@ -1,17 +1,23 @@
-# Developer entry points. `make check` is the CI gate: vet, build, the
-# full test suite, the race detector over the concurrency-heavy
-# packages (the virtual-time runtime and its tracing layer), and one
-# iteration of each runtime benchmark so a change that breaks them
-# fails loudly.
+# Developer entry points. `make check` is the CI gate: vet, the cpxlint
+# static-analysis suite, build, the full test suite, the race detector
+# over the concurrency-heavy packages (the virtual-time runtime and its
+# tracing layer), and one iteration of each runtime benchmark so a
+# change that breaks them fails loudly.
 
 GO ?= go
 
-.PHONY: check vet build test race bench-smoke bench-trace bench-mpi
+.PHONY: check vet lint build test test-race race bench-smoke bench-trace bench-mpi
 
-check: vet build test race bench-smoke
+check: vet lint build test race bench-smoke
 
 vet:
 	$(GO) vet ./...
+
+# cpxlint enforces the determinism, mpiuse, poolsafety and floatreduce
+# invariants (see internal/analysis); exits non-zero on any diagnostic
+# without a reviewed //lint:allow suppression.
+lint:
+	$(GO) run ./cmd/cpxlint .
 
 build:
 	$(GO) build ./...
@@ -21,6 +27,10 @@ test:
 
 race:
 	$(GO) test -race ./internal/mpi/ ./internal/trace/
+
+# Race-detect the whole module (slower than the targeted `race` gate).
+test-race:
+	$(GO) test -race ./...
 
 # One iteration of every runtime benchmark: catches benchmarks that no
 # longer compile or run, without the cost of a real measurement.

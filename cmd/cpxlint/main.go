@@ -1,0 +1,147 @@
+// Command cpxlint runs the cpx static-analysis suite (internal/analysis)
+// over the module: determinism, mpiuse, poolsafety and floatreduce.
+//
+// Usage:
+//
+//	cpxlint [-tests] [module-root]
+//
+// The module root defaults to the nearest directory containing go.mod,
+// searching upward from the working directory. Diagnostics print as
+//
+//	path/file.go:line:col: [rule] message
+//
+// and are silenced by a reviewed suppression on the same line or the
+// line above:
+//
+//	//lint:allow <rule> <reason>
+//
+// Exit status: 0 clean, 1 unsuppressed diagnostics (including malformed
+// suppressions), 2 load/type-check failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"cpx/internal/analysis"
+)
+
+func main() {
+	tests := flag.Bool("tests", false, "also analyze the packages' own _test.go files")
+	verbose := flag.Bool("v", false, "report suppressed diagnostics too")
+	flag.Parse()
+
+	root := flag.Arg(0)
+	if root == "" {
+		var err error
+		root, err = findModuleRoot()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cpxlint:", err)
+			os.Exit(2)
+		}
+	}
+
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cpxlint:", err)
+		os.Exit(2)
+	}
+	loader.IncludeTests = *tests
+
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cpxlint:", err)
+		os.Exit(2)
+	}
+	if errs := loader.TypeErrors(); len(errs) > 0 {
+		for _, e := range errs {
+			fmt.Fprintln(os.Stderr, "cpxlint: type error:", e)
+		}
+		os.Exit(2)
+	}
+
+	rules := analysis.AnalyzerNames()
+	var kept, suppressed []analysis.Diagnostic
+	for _, pkg := range pkgs {
+		supps := analysis.CollectSuppressions(loader.Fset, pkg.Files, rules)
+		kept = append(kept, supps.Malformed...)
+
+		simCritical := analysis.IsSimCritical(pkg.ImportPath)
+		for _, a := range analysis.Analyzers() {
+			if a.SimCriticalOnly && !simCritical {
+				continue
+			}
+			pass := &analysis.Pass{
+				Analyzer:    a,
+				Fset:        loader.Fset,
+				Files:       pkg.Files,
+				Pkg:         pkg.Types,
+				Info:        pkg.Info,
+				SimCritical: simCritical,
+			}
+			a.Run(pass)
+			k, s := supps.Filter(pass.Diagnostics)
+			kept = append(kept, k...)
+			suppressed = append(suppressed, s...)
+		}
+	}
+
+	sortDiags(kept)
+	for _, d := range kept {
+		fmt.Println(relativize(root, d))
+	}
+	if *verbose {
+		sortDiags(suppressed)
+		for _, d := range suppressed {
+			fmt.Printf("%s (suppressed)\n", relativize(root, d))
+		}
+	}
+	fmt.Fprintf(os.Stderr, "cpxlint: %d package(s), %d diagnostic(s), %d suppressed\n",
+		len(pkgs), len(kept), len(suppressed))
+	if len(kept) > 0 {
+		os.Exit(1)
+	}
+}
+
+// findModuleRoot walks upward from the working directory to go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above the working directory")
+		}
+		dir = parent
+	}
+}
+
+// relativize renders a diagnostic with its filename relative to root.
+func relativize(root string, d analysis.Diagnostic) string {
+	if rel, err := filepath.Rel(root, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+		d.Pos.Filename = rel
+	}
+	return d.String()
+}
+
+func sortDiags(diags []analysis.Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+}

@@ -110,8 +110,13 @@ const (
 // strong connections become F-points interpolating nothing (handled by
 // interpolation as injection-free rows).
 func PMIS(a *sparse.CSR, strength [][]int, seed int64) []CF {
+	return PMISRand(a, strength, rand.New(rand.NewSource(seed)))
+}
+
+// PMISRand is PMIS drawing its tie-breaking weights from an explicit
+// generator, for callers that thread one seeded stream through setup.
+func PMISRand(a *sparse.CSR, strength [][]int, rng *rand.Rand) []CF {
 	n := a.Rows
-	rng := rand.New(rand.NewSource(seed))
 	// Influence count |S^T_i| plus random tie-break.
 	w := make([]float64, n)
 	for i := 0; i < n; i++ {

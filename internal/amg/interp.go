@@ -4,6 +4,7 @@ import (
 	"math"
 	"sort"
 
+	"cpx/internal/order"
 	"cpx/internal/sparse"
 )
 
@@ -206,9 +207,11 @@ func ExtendedIInterpolation(a *sparse.CSR, strength [][]int, cf []CF) *sparse.CS
 			col int
 			w   float64
 		}
+		// Sorted-key iteration: the rescaling sums below accumulate in row
+		// order, so map order here would leak into the weights.
 		row := make([]wc, 0, len(ext))
-		for j, coupling := range ext {
-			if w := -coupling / diag; w != 0 {
+		for _, j := range order.SortedKeys(ext) {
+			if w := -ext[j] / diag; w != 0 {
 				row = append(row, wc{index[j], w})
 			}
 		}

@@ -1,0 +1,40 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"cpx/internal/analysis"
+	"cpx/internal/analysis/analysistest"
+)
+
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, ".", analysis.Determinism, "determinism")
+}
+
+func TestMPIUse(t *testing.T) {
+	analysistest.Run(t, ".", analysis.MPIUse, "mpiuse")
+}
+
+func TestPoolSafety(t *testing.T) {
+	analysistest.Run(t, ".", analysis.PoolSafety, "poolsafety")
+}
+
+func TestFloatReduce(t *testing.T) {
+	analysistest.Run(t, ".", analysis.FloatReduce, "floatreduce")
+}
+
+func TestIsSimCritical(t *testing.T) {
+	for path, want := range map[string]bool{
+		"cpx/internal/mpi":          true,
+		"cpx/internal/amg":          true,
+		"cpx/internal/coupler":      true,
+		"cpx/internal/trace":        false,
+		"cpx/internal/analysis":     false,
+		"cpx/cmd/cpx":              false,
+		"other/internal/mpi":       false,
+	} {
+		if got := analysis.IsSimCritical(path); got != want {
+			t.Errorf("IsSimCritical(%q) = %v, want %v", path, got, want)
+		}
+	}
+}

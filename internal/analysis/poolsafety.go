@@ -1,0 +1,271 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PoolSafety guards the pooled-message lifecycle of the mpi runtime:
+// a *message obtained from the pool (Recv, mailbox take) is only valid
+// until releaseMessage returns it, and its Data payload aliases pooled or
+// arena-owned storage. Three failure classes are flagged:
+//
+//  1. use of a message variable after releaseMessage(m) in the same block
+//     (use-after-release: the pool may have already re-handed the memory);
+//  2. storing a pooled payload (m.Data or an arena clone) into a struct
+//     field, global or closure that outlives the handler scope;
+//  3. storing the *message itself into long-lived storage.
+//
+// The safe patterns are copying the payload (copy, append to fresh slice)
+// or copying the message value (latest = *m) before release.
+var PoolSafety = &Analyzer{
+	Name: "poolsafety",
+	Doc: "flag use-after-release of pooled messages and pooled payload " +
+		"slices escaping into long-lived storage",
+	Run: runPoolSafety,
+}
+
+func runPoolSafety(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkUseAfterRelease(pass, fd.Body)
+			checkPayloadEscapes(pass, fd)
+		}
+	}
+}
+
+// isMessagePtr reports whether t is *message (the pooled runtime message
+// type, matched by name so fixtures can declare their own stub).
+func isMessagePtr(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	return ok && named.Obj().Name() == "message"
+}
+
+// releasedVar matches releaseMessage(m) / pool-release helpers and
+// returns the released variable's object.
+func releasedVar(pass *Pass, call *ast.CallExpr) types.Object {
+	fn := pass.calleeFunc(call)
+	if fn == nil || fn.Name() != "releaseMessage" || len(call.Args) != 1 {
+		return nil
+	}
+	id, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return pass.Info.Uses[id]
+}
+
+// checkUseAfterRelease walks each block linearly: once releaseMessage(m)
+// executes, any later read of m (or m.Data etc.) in the same block is
+// flagged until m is reassigned. Nested blocks are scanned recursively
+// with a fresh released-set, so conditional releases do not poison the
+// outer flow (a deliberate precision trade-off).
+func checkUseAfterRelease(pass *Pass, body *ast.BlockStmt) {
+	var scan func(b *ast.BlockStmt)
+	scan = func(b *ast.BlockStmt) {
+		released := map[types.Object]bool{}
+		for _, stmt := range b.List {
+			// Reads of released vars anywhere in this statement — except the
+			// release call itself and reassignment targets.
+			if len(released) > 0 {
+				reportReleasedUses(pass, stmt, released)
+			}
+			switch s := stmt.(type) {
+			case *ast.ExprStmt:
+				if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+					if obj := releasedVar(pass, call); obj != nil {
+						released[obj] = true
+					}
+				}
+			case *ast.AssignStmt:
+				// Reassignment makes the variable safe again.
+				for _, lhs := range s.Lhs {
+					if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+						if obj := pass.Info.Uses[id]; obj != nil {
+							delete(released, obj)
+						} else if obj := pass.Info.Defs[id]; obj != nil {
+							delete(released, obj)
+						}
+					}
+				}
+			}
+			// Recurse into nested blocks with fresh state.
+			ast.Inspect(stmt, func(n ast.Node) bool {
+				if inner, ok := n.(*ast.BlockStmt); ok {
+					scan(inner)
+					return false
+				}
+				return true
+			})
+		}
+	}
+	scan(body)
+}
+
+// reportReleasedUses flags identifier reads of released message vars in
+// stmt, skipping reassignment LHS positions and further release calls.
+func reportReleasedUses(pass *Pass, stmt ast.Stmt, released map[types.Object]bool) {
+	// Collect LHS idents of assignments so `m = ...` is not a "use".
+	lhsIdents := map[*ast.Ident]bool{}
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if assign, ok := n.(*ast.AssignStmt); ok {
+			for _, lhs := range assign.Lhs {
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+					lhsIdents[id] = true
+				}
+			}
+		}
+		return true
+	})
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || lhsIdents[id] {
+			return true
+		}
+		obj := pass.Info.Uses[id]
+		if obj == nil || !released[obj] {
+			return true
+		}
+		if !isMessagePtr(obj.Type()) {
+			return true
+		}
+		pass.Reportf(id.Pos(),
+			"use of %s after releaseMessage(%s): the pooled message may already be reused; copy what you need before releasing",
+			id.Name, id.Name)
+		return true
+	})
+}
+
+// ---- payload escape ---------------------------------------------------------
+
+// pooledPayload reports whether e reads pooled/arena-owned storage: the
+// Data field of a *message, or the result of an arena clone call.
+func pooledPayload(pass *Pass, e ast.Expr) (string, bool) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		if e.Sel.Name == "Data" && isMessagePtr(pass.typeOf(e.X)) {
+			return exprString(e), true
+		}
+	case *ast.CallExpr:
+		if sel, ok := methodCall(e); ok && sel.Sel.Name == "clone" &&
+			namedTypeName(pass.typeOf(sel.X)) == "f64Arena" {
+			return exprString(e), true
+		}
+	case *ast.SliceExpr:
+		return pooledPayload(pass, e.X)
+	case *ast.Ident:
+		// A local alias of a pooled payload: data := m.Data; s.buf = data.
+		if obj := pass.Info.Uses[e]; obj != nil {
+			if src, ok := pass.payloadAliases[obj]; ok {
+				return src, true
+			}
+		}
+	}
+	return "", false
+}
+
+// checkPayloadEscapes flags assignments that store a pooled payload or a
+// *message into storage outliving the handler: struct fields, globals,
+// map/slice elements of outer data structures, or captured closures'
+// outer variables.
+func checkPayloadEscapes(pass *Pass, fd *ast.FuncDecl) {
+	// First pass: record local aliases `data := m.Data`.
+	pass.payloadAliases = map[types.Object]string{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Lhs) != len(assign.Rhs) {
+			return true
+		}
+		for i, rhs := range assign.Rhs {
+			src, ok := pooledPayload(pass, rhs)
+			if !ok {
+				continue
+			}
+			if id, ok := assign.Lhs[i].(*ast.Ident); ok {
+				if obj := pass.Info.Defs[id]; obj != nil {
+					pass.payloadAliases[obj] = src
+				}
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Lhs) != len(assign.Rhs) {
+			return true
+		}
+		for i, rhs := range assign.Rhs {
+			target := ast.Unparen(assign.Lhs[i])
+			if !escapesScope(pass, target, fd) {
+				continue
+			}
+			if src, ok := pooledPayload(pass, rhs); ok {
+				pass.Reportf(assign.Pos(),
+					"storing pooled payload %s into %s outlives the message's lifetime: the slice is recycled on release; copy into a fresh slice instead",
+					src, exprString(target))
+				continue
+			}
+			if t := pass.typeOf(rhs); t != nil && isMessagePtr(t) {
+				if id, ok := ast.Unparen(rhs).(*ast.Ident); ok {
+					if obj := pass.Info.Uses[id]; obj != nil && pass.declaredWithin(id, fd) {
+						pass.Reportf(assign.Pos(),
+							"storing *message %s into %s outlives the pooled lifetime; copy the message value or its payload instead",
+							id.Name, exprString(target))
+					}
+				}
+			}
+		}
+		return true
+	})
+	pass.payloadAliases = nil
+}
+
+// escapesScope reports whether an assignment target outlives the function
+// body: struct fields (s.field), globals, and element writes into
+// non-local containers.
+func escapesScope(pass *Pass, target ast.Expr, fd *ast.FuncDecl) bool {
+	switch target := target.(type) {
+	case *ast.SelectorExpr:
+		// A field of anything — receiver, parameter, global — outlives the
+		// handler unless the base itself is a local composite.
+		if id, ok := ast.Unparen(target.X).(*ast.Ident); ok {
+			return !localNonEscaping(pass, id, fd)
+		}
+		return true
+	case *ast.IndexExpr:
+		if id, ok := ast.Unparen(target.X).(*ast.Ident); ok {
+			return !localNonEscaping(pass, id, fd)
+		}
+		return true
+	case *ast.Ident:
+		obj := pass.Info.Uses[target]
+		if obj == nil {
+			return false // := definition of a local
+		}
+		// Package-level variable.
+		return obj.Parent() == pass.Pkg.Scope()
+	}
+	return false
+}
+
+// localNonEscaping reports whether id is a variable declared inside fd —
+// a plain local whose fields/elements die with the call.
+func localNonEscaping(pass *Pass, id *ast.Ident, fd *ast.FuncDecl) bool {
+	obj := pass.Info.Uses[id]
+	if obj == nil {
+		obj = pass.Info.Defs[id]
+	}
+	if obj == nil {
+		return false
+	}
+	return obj.Pos() > fd.Body.Pos() && obj.Pos() < fd.Body.End()
+}

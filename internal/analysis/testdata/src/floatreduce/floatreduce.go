@@ -1,0 +1,84 @@
+// Package floatreduce exercises the floatreduce analyzer: float
+// accumulation in map order and in goroutine/channel arrival order.
+package floatreduce
+
+func sink(args ...interface{}) {}
+
+func mapOrderSum(m map[int]float64) float64 {
+	sum := 0.0
+	for _, v := range m {
+		sum += v // want `float accumulation into sum depends on map iteration order`
+	}
+	return sum
+}
+
+func mapOrderExplicitForm(m map[int]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total = total + v // want `float accumulation into total depends on map iteration order`
+	}
+	return total
+}
+
+func mapOrderProduct(m map[int]float64) float64 {
+	prod := 1.0
+	for _, v := range m {
+		prod *= v // want `float accumulation into prod depends on map iteration order`
+	}
+	return prod
+}
+
+func channelOrderSum(ch chan float64) float64 {
+	sum := 0.0
+	for v := range ch {
+		sum += v // want `float accumulation into sum depends on channel arrival order`
+	}
+	return sum
+}
+
+func sortedKeysSum(m map[int]float64, keys []int) float64 {
+	// Iterating a sorted key slice is the fix: term order is fixed.
+	sum := 0.0
+	for _, k := range keys {
+		sum += m[k]
+	}
+	return sum
+}
+
+func loopLocalSubSum(groups map[int][]float64) map[int]float64 {
+	// A per-key sub-accumulator declared inside the loop is fine: its
+	// term order comes from the slice, and the result is stored keyed.
+	out := make(map[int]float64, len(groups))
+	for k, vs := range groups {
+		s := 0.0
+		for _, v := range vs {
+			s += v
+		}
+		out[k] = s
+	}
+	return out
+}
+
+func keyedAccumIsFine(m map[int]float64, acc map[int]float64) {
+	// Keyed writes are order-independent per key.
+	for k, v := range m {
+		acc[k] += v
+	}
+}
+
+func intAccumIsFine(m map[int]int) int {
+	// Integer addition is associative; only floats drift.
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+func suppressedSum(m map[int]float64) float64 {
+	sum := 0.0
+	for _, v := range m {
+		sum += v //lint:allow floatreduce tolerance-checked diagnostic only, never feeds state
+	}
+	return sum
+}

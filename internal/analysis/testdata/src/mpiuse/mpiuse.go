@@ -1,0 +1,118 @@
+// Package mpiuse exercises the mpiuse analyzer with a local stub of the
+// runtime's communicator API: rank-conditioned collectives and
+// discarded/never-awaited requests.
+package mpiuse
+
+// Comm mirrors the runtime communicator (matched by type name).
+type Comm struct {
+	rank int
+}
+
+func (c *Comm) Rank() int      { return c.rank }
+func (c *Comm) WorldRank() int { return c.rank }
+
+func (c *Comm) Barrier()                           {}
+func (c *Comm) Bcast(root int, data []float64)     {}
+func (c *Comm) Allreduce(data []float64)           {}
+func (c *Comm) Send(dst, tag int, data []float64)  {}
+func (c *Comm) Recv(src, tag int) []float64        { return nil }
+func (c *Comm) Isend(dst, tag int, data []float64) *Request { return &Request{} }
+func (c *Comm) Irecv(src, tag int) *Request        { return &Request{} }
+
+// Request mirrors the runtime's nonblocking handle.
+type Request struct{}
+
+func (r *Request) Wait() {}
+
+func WaitAll(reqs ...*Request) {}
+
+// ---- rank-conditioned collectives -------------------------------------------
+
+func directRankCond(c *Comm, data []float64) {
+	if c.Rank() == 0 {
+		c.Barrier() // want `collective c\.Barrier inside a branch conditioned on the rank`
+	}
+}
+
+func rankVarCond(c *Comm, data []float64) {
+	r := c.Rank()
+	if r == 0 {
+		c.Bcast(0, data) // want `collective c\.Bcast inside a branch conditioned on the rank`
+	}
+}
+
+func rankParamCond(c *Comm, rank int, data []float64) {
+	if rank == 0 {
+		c.Allreduce(data) // want `collective c\.Allreduce inside a branch conditioned on the rank`
+	}
+}
+
+func switchRankCond(c *Comm) {
+	switch c.Rank() {
+	case 0:
+		c.Barrier() // want `collective c\.Barrier inside a branch conditioned on the rank`
+	}
+}
+
+func elseBranchCond(c *Comm, data []float64) {
+	if c.Rank() == 0 {
+		c.Send(1, 0, data)
+	} else {
+		c.Allreduce(data) // want `collective c\.Allreduce inside a branch conditioned on the rank`
+	}
+}
+
+func pointToPointIsFine(c *Comm, data []float64) {
+	// Rank-conditioned P2P is the normal pattern, not a collective hazard.
+	if c.Rank() == 0 {
+		c.Send(1, 0, data)
+	} else if c.Rank() == 1 {
+		data = c.Recv(0, 0)
+	}
+	_ = data
+}
+
+func unconditionedIsFine(c *Comm, data []float64) {
+	c.Barrier()
+	c.Allreduce(data)
+}
+
+func sizeCondIsFine(c *Comm, n int, data []float64) {
+	// Conditions on anything other than the rank are fine.
+	if n > 1 {
+		c.Allreduce(data)
+	}
+}
+
+func suppressedRankCond(c *Comm) {
+	if c.Rank() == 0 {
+		c.Barrier() //lint:allow mpiuse all ranks take this branch in lockstep via replicated state
+	}
+}
+
+// ---- request lifecycle ------------------------------------------------------
+
+func discardedRequest(c *Comm, data []float64) {
+	c.Isend(1, 0, data)      // want `Isend result discarded`
+	_ = c.Irecv(0, 0)        // want `Irecv result discarded`
+}
+
+func neverAwaited(c *Comm, data []float64) {
+	req := c.Isend(1, 0, data) // want `\*Request req from Isend never reaches a Wait`
+	if req == nil {
+		return
+	}
+}
+
+func awaited(c *Comm, data []float64) {
+	req := c.Isend(1, 0, data)
+	req.Wait()
+}
+
+func awaitedViaWaitAll(c *Comm, data []float64) {
+	var reqs []*Request
+	reqs = append(reqs, c.Isend(1, 0, data))
+	r2 := c.Irecv(0, 0)
+	reqs = append(reqs, r2)
+	WaitAll(reqs...)
+}

@@ -1,0 +1,89 @@
+// Package poolsafety exercises the poolsafety analyzer with local stubs
+// of the runtime's pooled message and arena types.
+package poolsafety
+
+// message mirrors the runtime's pooled message (matched by type name).
+type message struct {
+	Data []float64
+	seq  int
+}
+
+func getMessage() *message      { return &message{} }
+func releaseMessage(m *message) {}
+
+// f64Arena mirrors the runtime's bump allocator.
+type f64Arena struct{}
+
+func (a *f64Arena) clone(d []float64) []float64 { return d }
+
+func sink(args ...interface{}) {}
+
+// ---- use after release ------------------------------------------------------
+
+func useAfterRelease() {
+	m := getMessage()
+	releaseMessage(m)
+	sink(m.Data) // want `use of m after releaseMessage`
+}
+
+func copyBeforeRelease() float64 {
+	m := getMessage()
+	latest := *m
+	releaseMessage(m)
+	return latest.Data[0]
+}
+
+func reassignedIsFresh() {
+	m := getMessage()
+	releaseMessage(m)
+	m = getMessage()
+	sink(m.Data)
+	releaseMessage(m)
+}
+
+// ---- payload escapes --------------------------------------------------------
+
+type holder struct {
+	buf []float64
+}
+
+type msgHolder struct {
+	last *message
+}
+
+var globalBuf []float64
+
+func fieldEscape(h *holder, m *message) {
+	h.buf = m.Data // want `storing pooled payload m\.Data into h\.buf`
+}
+
+func globalEscape(m *message) {
+	globalBuf = m.Data // want `storing pooled payload m\.Data into globalBuf`
+}
+
+func aliasEscape(h *holder, m *message) {
+	d := m.Data
+	h.buf = d // want `storing pooled payload m\.Data into h\.buf`
+}
+
+func cloneEscape(h *holder, a *f64Arena, d []float64) {
+	h.buf = a.clone(d) // want `storing pooled payload a\.clone\(d\) into h\.buf`
+}
+
+func messageEscape(h *msgHolder, m *message) {
+	h.last = m // want `storing \*message m into h\.last`
+}
+
+func copiedPayloadIsFine(h *holder, m *message) {
+	h.buf = append([]float64(nil), m.Data...)
+}
+
+func localUseIsFine(m *message) float64 {
+	var tmp holder
+	tmp.buf = m.Data
+	return tmp.buf[0]
+}
+
+func suppressedOwnership(h *msgHolder, m *message) {
+	h.last = m //lint:allow poolsafety holder owns queued messages until take, mirroring the mailbox
+}

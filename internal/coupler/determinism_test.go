@@ -1,0 +1,76 @@
+package coupler
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"testing"
+)
+
+// TestCoupledTraceRunIdenticalAcrossHostParallelism is the differential
+// determinism gate for the coupled path: the same small coupled
+// simulation, run with event tracing on under GOMAXPROCS=1 and under
+// full host parallelism, must produce bitwise-equal statistics, trace
+// summaries, per-rank timelines and critical paths. Host scheduling must
+// be entirely invisible in everything the run reports.
+func TestCoupledTraceRunIdenticalAcrossHostParallelism(t *testing.T) {
+	run := func() *Report {
+		rep, err := twoRowSim(Tree).Run(tracedRunCfg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	parallel := run()
+	prev := runtime.GOMAXPROCS(1)
+	serial := run()
+	runtime.GOMAXPROCS(prev)
+
+	if parallel.Elapsed != serial.Elapsed {
+		t.Errorf("Elapsed %v vs %v", parallel.Elapsed, serial.Elapsed)
+	}
+	ps, ss := parallel.Stats, serial.Stats
+	for r := range ps.Clocks {
+		if ps.Clocks[r] != ss.Clocks[r] {
+			t.Errorf("rank %d clock %v vs %v", r, ps.Clocks[r], ss.Clocks[r])
+		}
+		if ps.Compute[r] != ss.Compute[r] {
+			t.Errorf("rank %d compute %v vs %v", r, ps.Compute[r], ss.Compute[r])
+		}
+		if ps.Comm[r] != ss.Comm[r] {
+			t.Errorf("rank %d comm %v vs %v", r, ps.Comm[r], ss.Comm[r])
+		}
+	}
+	for r := range ps.Timelines {
+		if !reflect.DeepEqual(ps.Timelines[r], ss.Timelines[r]) {
+			t.Errorf("rank %d timeline differs between host parallelism levels", r)
+		}
+	}
+	if !reflect.DeepEqual(ps.CommMatrix, ss.CommMatrix) {
+		t.Error("comm matrix differs between host parallelism levels")
+	}
+	if parallel.Critical.Total() != serial.Critical.Total() {
+		t.Errorf("critical path total %v vs %v", parallel.Critical.Total(), serial.Critical.Total())
+	}
+	sumJSON := func(rep *Report) string {
+		var buf bytes.Buffer
+		if err := rep.Stats.Summary().WriteJSON(&buf); err != nil {
+			t.Fatalf("summary JSON: %v", err)
+		}
+		return buf.String()
+	}
+	if a, b := sumJSON(parallel), sumJSON(serial); a != b {
+		t.Errorf("run summaries differ:\nparallel: %s\nserial:   %s", a, b)
+	}
+}
+
+// TestAnnulusPointsRandMatchesSeededWrapper: threading an explicit
+// generator must reproduce the seeded wrapper exactly.
+func TestAnnulusPointsRandMatchesSeededWrapper(t *testing.T) {
+	want := AnnulusPoints(64, 11)
+	got := AnnulusPointsRand(64, rand.New(rand.NewSource(11)))
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("AnnulusPointsRand(seeded rng) differs from AnnulusPoints(seed)")
+	}
+}

@@ -262,7 +262,12 @@ func InterpolateWork(trueTargets float64) cluster.Work {
 // AnnulusPoints generates n jittered points on an annular interface
 // (r in [0.8, 1.0]), deterministic per seed. Idx fields are 0..n-1.
 func AnnulusPoints(n int, seed int64) []Point2 {
-	rng := rand.New(rand.NewSource(seed))
+	return AnnulusPointsRand(n, rand.New(rand.NewSource(seed)))
+}
+
+// AnnulusPointsRand is AnnulusPoints drawing from an explicit generator,
+// for callers that thread one seeded stream through a whole setup phase.
+func AnnulusPointsRand(n int, rng *rand.Rand) []Point2 {
 	pts := make([]Point2, n)
 	for i := range pts {
 		r := 0.8 + 0.2*rng.Float64()

@@ -326,7 +326,12 @@ func StructuredEdges(d Dims) []Edge {
 // point locations) for partitioners and coupler searches. Deterministic
 // for a given seed.
 func NodeCoords(d Dims, jitter float64, seed int64) []partition.Point {
-	rng := rand.New(rand.NewSource(seed))
+	return NodeCoordsRand(d, jitter, rand.New(rand.NewSource(seed)))
+}
+
+// NodeCoordsRand is NodeCoords drawing from an explicit generator, for
+// callers that thread one seeded stream through a whole setup phase.
+func NodeCoordsRand(d Dims, jitter float64, rng *rand.Rand) []partition.Point {
 	ni, nj, nk := d.NI+1, d.NJ+1, d.NK+1
 	pts := make([]partition.Point, 0, ni*nj*nk)
 	for k := 0; k < nk; k++ {

@@ -1,6 +1,7 @@
 package mesh
 
 import (
+	"math/rand"
 	"testing"
 	"testing/quick"
 )
@@ -310,5 +311,22 @@ func TestDecompBoxesProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestNodeCoordsRandMatchesSeededWrapper: threading an explicit
+// generator must reproduce the seeded wrapper exactly, so callers can
+// migrate to NodeCoordsRand without moving any golden results.
+func TestNodeCoordsRandMatchesSeededWrapper(t *testing.T) {
+	d := Dims{4, 5, 6}
+	want := NodeCoords(d, 0.3, 42)
+	got := NodeCoordsRand(d, 0.3, rand.New(rand.NewSource(42)))
+	if len(got) != len(want) {
+		t.Fatalf("length %d vs %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("point %d differs: %v vs %v", i, got[i], want[i])
+		}
 	}
 }

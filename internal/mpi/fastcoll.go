@@ -211,6 +211,7 @@ func (st *station) replayBcast(w *World) {
 		if v == 0 {
 			st.out[r] = data
 		} else {
+			//lint:allow poolsafety the clone mirrors the message-path handoff: the receiving rank owns it exactly like a Recv payload
 			st.out[r] = pr.arena.clone(data)
 		}
 	}

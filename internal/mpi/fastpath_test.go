@@ -1,6 +1,8 @@
 package mpi
 
 import (
+	"bytes"
+	"reflect"
 	"runtime"
 	"strings"
 	"testing"
@@ -263,4 +265,43 @@ func TestRecvAllDrainsManyToOne(t *testing.T) {
 		}
 		return nil
 	})
+}
+
+// traceSummaryJSON renders a run's summary as JSON so trace-level
+// determinism can be asserted byte-for-byte.
+func traceSummaryJSON(t *testing.T, st *Stats) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := st.Summary().WriteJSON(&buf); err != nil {
+		t.Fatalf("summary JSON: %v", err)
+	}
+	return buf.String()
+}
+
+// TestTraceIdenticalAcrossHostParallelism extends the host-parallelism
+// invariant from clocks to the trace path: with event tracing on, the
+// per-rank timelines, the comm matrix and the JSON run summary must all
+// come out identical under GOMAXPROCS=1 and full host parallelism — the
+// trace is part of the reproducibility contract, not a best-effort log.
+func TestTraceIdenticalAcrossHostParallelism(t *testing.T) {
+	const p = 8
+	cfg := testCfg()
+	cfg.Trace = true
+	parallel, parSums := runMixed(t, p, cfg)
+	prev := runtime.GOMAXPROCS(1)
+	serial, serSums := runMixed(t, p, cfg)
+	runtime.GOMAXPROCS(prev)
+
+	assertStatsIdentical(t, "trace: GOMAXPROCS=1 vs parallel", parallel, serial, parSums, serSums)
+	for r := range parallel.Timelines {
+		if !reflect.DeepEqual(parallel.Timelines[r], serial.Timelines[r]) {
+			t.Errorf("rank %d timeline differs between host parallelism levels", r)
+		}
+	}
+	if !reflect.DeepEqual(parallel.CommMatrix, serial.CommMatrix) {
+		t.Error("comm matrix differs between host parallelism levels")
+	}
+	if a, b := traceSummaryJSON(t, parallel), traceSummaryJSON(t, serial); a != b {
+		t.Errorf("run summaries differ:\nparallel: %s\nserial:   %s", a, b)
+	}
 }

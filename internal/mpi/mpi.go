@@ -110,6 +110,7 @@ func (w *World) setAborted() {
 	w.stMu.Lock()
 	stations := make([]*station, 0, len(w.stations))
 	for _, st := range w.stations {
+		//lint:allow determinism abort fan-out order is host-side only; interrupt is idempotent and never advances virtual time
 		stations = append(stations, st)
 	}
 	w.stMu.Unlock()
@@ -756,6 +757,7 @@ func Run(size int, cfg Config, fn func(*Comm) error) (*Stats, error) {
 		// error path: blocked ranks wake, unwind via errAborted, and Run
 		// returns the watchdog error. It must never panic — a panic in a
 		// timer goroutine would kill the whole process.
+		//lint:allow determinism the watchdog deliberately runs on host time to catch deadlocks; it never feeds the virtual clock
 		t := time.AfterFunc(watchdog, func() {
 			w.fail(fmt.Errorf("mpi: watchdog: run of %d ranks exceeded %v host time (deadlock?)", size, watchdog))
 		})

@@ -1,0 +1,43 @@
+package order
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestSortedKeys(t *testing.T) {
+	m := map[int]string{3: "c", 1: "a", 2: "b"}
+	if got, want := SortedKeys(m), []int{1, 2, 3}; !reflect.DeepEqual(got, want) {
+		t.Errorf("SortedKeys = %v, want %v", got, want)
+	}
+	if got := SortedKeys(map[string]int{"b": 2, "a": 1}); !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Errorf("SortedKeys(string map) = %v", got)
+	}
+	if got := SortedKeys(map[int]int{}); len(got) != 0 {
+		t.Errorf("SortedKeys(empty) = %v", got)
+	}
+}
+
+func TestSumSortedIsOrderFixed(t *testing.T) {
+	// Terms chosen so float addition order changes the result: summing
+	// big+small+small... differs from small+...+big in the last bits.
+	m := map[int]float64{}
+	for i := 0; i < 64; i++ {
+		m[i] = 1e-9 * float64(i+1)
+	}
+	m[64] = 1e9
+	want := SumSorted(m)
+	for run := 0; run < 8; run++ {
+		if got := SumSorted(m); got != want {
+			t.Fatalf("SumSorted not stable: %v vs %v", got, want)
+		}
+	}
+	// And it must equal the explicit sorted-key loop.
+	s := 0.0
+	for _, k := range SortedKeys(m) {
+		s += m[k]
+	}
+	if s != want {
+		t.Fatalf("SumSorted %v != sorted-key loop %v", want, s)
+	}
+}

@@ -24,10 +24,10 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"sort"
 
 	"cpx/internal/cluster"
 	"cpx/internal/mpi"
+	"cpx/internal/order"
 )
 
 // Message tags.
@@ -335,8 +335,11 @@ func (cl *Cloud) redistribute() {
 	// the balancer gets its global view (including the evaporated count
 	// to replace) — one p-wide reduction per step, the collective the
 	// paper blames for spray scaling.
+	// Destination order is fixed once here and reused for the sends below,
+	// whose virtual timestamps depend on it.
+	dests := order.SortedKeys(buffers)
 	indicators := make([]float64, p+1)
-	for d := range buffers {
+	for _, d := range dests {
 		indicators[d] = 1
 	}
 	indicators[p] = float64(removed)
@@ -367,13 +370,8 @@ func (cl *Cloud) redistribute() {
 	if n := schedule - len(buffers); n > 0 {
 		cl.comm.ChargeCommSeconds(float64(n) * pairCost)
 	}
-	// Real payload messages, in deterministic destination order (map
-	// iteration order would scramble the virtual send timestamps).
-	dests := make([]int, 0, len(buffers))
-	for d := range buffers {
-		dests = append(dests, d)
-	}
-	sort.Ints(dests)
+	// Real payload messages, in the deterministic destination order
+	// established above.
 	for _, d := range dests {
 		buf := buffers[d]
 		cl.comm.SendVirtual(d, tagMigrate, buf, int(float64(len(buf))*8*cl.partScale))
