@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: check vet lint build test test-race race bench-smoke bench-trace bench-mpi
+.PHONY: check vet lint build test test-race race bench-smoke bench-trace bench-mpi bench-fault
 
-check: vet lint build test race bench-smoke
+check: vet lint build test race bench-smoke bench-fault
 
 vet:
 	$(GO) vet ./...
@@ -44,3 +44,8 @@ bench-trace:
 # Re-measure the host fast-path baselines recorded in BENCH_mpi.json.
 bench-mpi:
 	$(GO) test -run '^$$' -bench 'BenchmarkRunP2P|BenchmarkRunCollectives' -benchmem -count 5 ./internal/mpi/
+
+# One iteration of the resilience benchmarks (checkpointed run + full
+# crash-recovery cycle); baselines recorded in BENCH_fault.json.
+bench-fault:
+	$(GO) test -run '^$$' -bench 'BenchmarkRunResilient' -benchtime 1x ./internal/coupler/

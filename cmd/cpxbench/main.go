@@ -8,7 +8,7 @@
 //	cpxbench -exp fig8 -quick -v  # fast smoke geometry with progress
 //
 // Experiments: fig3 fig4ab fig4c fig5a fig5b fig6a fig6bc fig8 fig9
-// sensitivity all.
+// sensitivity overlap amg search resilience all.
 package main
 
 import (
@@ -20,7 +20,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (fig3, fig4ab, fig4c, fig5a, fig5b, fig6a, fig6bc, fig8, fig9, sensitivity, all)")
+	exp := flag.String("exp", "all", "experiment id (fig3, fig4ab, fig4c, fig5a, fig5b, fig6a, fig6bc, fig8, fig9, sensitivity, overlap, amg, search, resilience, all)")
 	quick := flag.Bool("quick", false, "shrink sweeps for a fast smoke run")
 	verbose := flag.Bool("v", false, "print progress")
 	fastcoll := flag.Bool("fastcoll", false, "use analytic collectives (bitwise-identical virtual time, faster host runs)")
@@ -44,8 +44,9 @@ func main() {
 		"overlap":     o.OverlapStudy,
 		"amg":         o.AMGAblation,
 		"search":      o.SearchAblation,
+		"resilience":  o.Resilience,
 	}
-	order := []string{"fig3", "fig4ab", "fig4c", "fig5a", "fig5b", "fig6a", "fig6bc", "fig8", "fig9", "sensitivity", "overlap", "amg", "search"}
+	order := []string{"fig3", "fig4ab", "fig4c", "fig5a", "fig5b", "fig6a", "fig6bc", "fig8", "fig9", "sensitivity", "overlap", "amg", "search", "resilience"}
 
 	run := func(id string) {
 		if id == "fig9" {

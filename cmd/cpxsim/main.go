@@ -7,12 +7,21 @@
 //	cpxsim -demo            # run a built-in three-component demo
 //	cpxsim -demo -critpath -trace trace.json -commmatrix comm.csv -json summary.json
 //	cpxsim -config engine.json -fastcoll   # analytic collectives, same virtual times
+//	cpxsim -demo -faults 0.05 -ckpt 2      # inject crashes (MTBF 50ms), checkpoint every 2 steps
 //
 // The export flags enable event tracing: -trace writes a Chrome/Perfetto
 // trace-event JSON timeline (open at ui.perfetto.dev), -commmatrix the
 // rank×rank communication matrix CSV, -json a machine-readable run
 // summary, and -critpath prints which instance or coupling unit sits on
-// the virtual-time critical path.
+// the virtual-time critical path. If an aborted or failed run produced
+// partial timelines, the export flags still write them.
+//
+// -seed offsets every instance's setup seed and seeds the fault plan, so
+// two invocations with the same seed replay bitwise-identical runs.
+// -faults MTBF injects deterministic rank crashes with the given mean
+// time between failures (virtual seconds); the run recovers via
+// coordinated checkpoint/restart at the -ckpt interval (density steps)
+// and reports the resilience accounting.
 //
 // Configuration schema (JSON):
 //
@@ -39,6 +48,7 @@ import (
 
 	"cpx/internal/cluster"
 	"cpx/internal/coupler"
+	"cpx/internal/fault"
 	"cpx/internal/mpi"
 	"cpx/internal/trace"
 )
@@ -111,6 +121,16 @@ func (jc *jsonConfig) build() (*coupler.Simulation, error) {
 	return sim, nil
 }
 
+// applySeed offsets every instance's setup seed by the -seed flag, so
+// the whole coupled run (initial meshes, particle distributions, and —
+// via fault.Spec.Seed — the failure schedule) replays bitwise
+// identically for the same value.
+func (jc *jsonConfig) applySeed(offset int64) {
+	for i := range jc.Instances {
+		jc.Instances[i].Seed += offset
+	}
+}
+
 func demoConfig() *jsonConfig {
 	return &jsonConfig{
 		DensitySteps:    4,
@@ -135,6 +155,9 @@ func main() {
 	jsonPath := flag.String("json", "", "write a JSON run summary to FILE")
 	critPath := flag.Bool("critpath", false, "print the critical-path breakdown per component")
 	fastcoll := flag.Bool("fastcoll", false, "use analytic collectives (bitwise-identical virtual time, faster host runs; ignored when tracing)")
+	seed := flag.Int64("seed", 0, "offset instance setup seeds and seed the fault plan")
+	faults := flag.Float64("faults", 0, "inject rank crashes with this MTBF in virtual seconds (0 disables)")
+	ckpt := flag.Int("ckpt", 0, "coordinated-checkpoint interval in density steps (0 disables)")
 	flag.Parse()
 
 	var jc jsonConfig
@@ -156,6 +179,7 @@ func main() {
 		os.Exit(2)
 	}
 
+	jc.applySeed(*seed)
 	sim, err := jc.build()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "cpxsim: %v\n", err)
@@ -164,12 +188,53 @@ func main() {
 	traced := *tracePath != "" || *commPath != "" || *jsonPath != "" || *critPath
 	fmt.Printf("running coupled simulation: %d instances, %d coupling units, %d ranks total\n",
 		len(sim.Instances), len(sim.Units), sim.TotalRanks())
-	rep, err := sim.Run(mpi.Config{Machine: cluster.ARCHER2(), Trace: traced, FastCollectives: *fastcoll})
+	cfg := mpi.Config{Machine: cluster.ARCHER2(), Trace: traced, FastCollectives: *fastcoll}
+
+	var rep *coupler.Report
+	var res *coupler.ResilienceReport
+	if *faults > 0 {
+		plan, perr := fault.NewPlan(fault.Spec{
+			Seed:    *seed,
+			Ranks:   sim.TotalRanks(),
+			Horizon: *faults * 64, // up to ~64 failures; later crashes never fire
+			MTBF:    *faults,
+			Machine: cfg.Machine,
+		})
+		if perr != nil {
+			fmt.Fprintf(os.Stderr, "cpxsim: %v\n", perr)
+			os.Exit(1)
+		}
+		res, err = sim.RunResilient(cfg, coupler.ResilienceOptions{
+			Plan:            plan,
+			CheckpointEvery: *ckpt,
+			MaxRestarts:     128,
+		})
+		if res != nil {
+			rep = res.Report
+		}
+	} else if *ckpt > 0 {
+		res, err = sim.RunResilient(cfg, coupler.ResilienceOptions{CheckpointEvery: *ckpt})
+		if res != nil {
+			rep = res.Report
+		}
+	} else {
+		rep, err = sim.Run(cfg)
+	}
 	if err != nil {
+		// A failed run may still carry partial timelines worth exporting
+		// (e.g. to inspect how far a faulty run got before dying).
+		if rep != nil && rep.Stats != nil {
+			exportArtifacts(rep, *tracePath, *commPath, *jsonPath)
+		}
 		fmt.Fprintf(os.Stderr, "cpxsim: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("\nsimulated run-time: %.3f s for %d density steps\n\n", rep.Elapsed, rep.DensitySteps)
+	fmt.Printf("\nsimulated run-time: %.3f s for %d density steps\n", rep.Elapsed, rep.DensitySteps)
+	if res != nil && res.Attempts > 1 {
+		fmt.Printf("survived %d crash(es) in %d attempts: overhead %.3f s (rework %.3f, detection %.3f, restart %.3f)\n",
+			len(res.Failures), res.Attempts, res.Overhead, res.Rework, res.Detection, res.Restart)
+	}
+	fmt.Println()
 	fmt.Printf("%-24s %10s %12s\n", "component", "time(s)", "compute(s)")
 	for i, is := range sim.Instances {
 		fmt.Printf("%-24s %10.3f %12.3f\n", is.Name, rep.InstanceTime[i], rep.InstanceComp[i])
@@ -185,6 +250,13 @@ func main() {
 			fmt.Printf("%-24s %10.3f s %6.1f%%\n", ls.Label, ls.Seconds, 100*ls.Share)
 		}
 	}
+	exportArtifacts(rep, *tracePath, *commPath, *jsonPath)
+}
+
+// exportArtifacts writes whichever trace products were requested. It is
+// also called for failed runs carrying partial stats, so the exporters
+// must tolerate missing timelines or comm matrices.
+func exportArtifacts(rep *coupler.Report, tracePath, commPath, jsonPath string) {
 	writeFile := func(path string, fn func(f *os.File) error) {
 		f, err := os.Create(path)
 		if err == nil {
@@ -198,17 +270,17 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	if *tracePath != "" {
-		writeFile(*tracePath, func(f *os.File) error { return trace.WriteChromeTrace(f, rep.Stats.Timelines) })
+	if tracePath != "" {
+		writeFile(tracePath, func(f *os.File) error { return trace.WriteChromeTrace(f, rep.Stats.Timelines) })
 	}
-	if *commPath != "" {
-		writeFile(*commPath, func(f *os.File) error { return rep.Stats.CommMatrix.WriteCSV(f) })
+	if commPath != "" {
+		writeFile(commPath, func(f *os.File) error { return rep.Stats.CommMatrix.WriteCSV(f) })
 	}
-	if *jsonPath != "" {
+	if jsonPath != "" {
 		sum := rep.Stats.Summary()
 		if sum.CriticalPath != nil {
 			sum.CriticalPath.Components = rep.CriticalComponents
 		}
-		writeFile(*jsonPath, func(f *os.File) error { return sum.WriteJSON(f) })
+		writeFile(jsonPath, func(f *os.File) error { return sum.WriteJSON(f) })
 	}
 }

@@ -66,6 +66,27 @@ func TestJSONConfigRejectsUnknownKinds(t *testing.T) {
 	}
 }
 
+func TestApplySeedOffsetsInstanceSeeds(t *testing.T) {
+	jc := demoConfig()
+	base := make([]int64, len(jc.Instances))
+	for i, ji := range jc.Instances {
+		base[i] = ji.Seed
+	}
+	jc.applySeed(41)
+	for i, ji := range jc.Instances {
+		if ji.Seed != base[i]+41 {
+			t.Errorf("instance %d seed = %d, want %d", i, ji.Seed, base[i]+41)
+		}
+	}
+	jc2 := demoConfig()
+	jc2.applySeed(0)
+	for i, ji := range jc2.Instances {
+		if ji.Seed != base[i] {
+			t.Errorf("zero offset changed instance %d seed to %d", i, ji.Seed)
+		}
+	}
+}
+
 func TestDemoConfigValid(t *testing.T) {
 	sim, err := demoConfig().build()
 	if err != nil {

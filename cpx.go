@@ -26,6 +26,7 @@ package cpx
 import (
 	"cpx/internal/cluster"
 	"cpx/internal/coupler"
+	"cpx/internal/fault"
 	"cpx/internal/fem"
 	"cpx/internal/harness"
 	"cpx/internal/mgcfd"
@@ -102,6 +103,36 @@ func ProductionScale() CoupledScale { return coupler.ProductionScale() }
 // RunConfig controls a virtual-time run (machine model, profiling,
 // host-time watchdog).
 type RunConfig = mpi.Config
+
+// ---- Fault injection and resilience --------------------------------------------
+
+// FaultPlan is a deterministic schedule of rank crashes, straggler nodes
+// and degraded links, expressed in virtual time (DESIGN.md §7).
+type FaultPlan = fault.Plan
+
+// FaultSpec parameterises a randomly drawn (but seeded, reproducible)
+// fault plan: ranks, horizon, MTBF.
+type FaultSpec = fault.Spec
+
+// NewFaultPlan draws a deterministic fault plan from a spec; the same
+// spec always yields the same plan.
+func NewFaultPlan(spec FaultSpec) (*FaultPlan, error) { return fault.NewPlan(spec) }
+
+// ResilienceOptions configures coordinated checkpoint/restart for a
+// coupled run: the fault plan, the checkpoint interval in density steps,
+// and the per-restart relaunch cost.
+type ResilienceOptions = coupler.ResilienceOptions
+
+// ResilienceReport extends Report with the resilience accounting:
+// attempts, overhead split into rework/detection/restart, and the
+// crashes survived.
+type ResilienceReport = coupler.ResilienceReport
+
+// YoungInterval returns Young's first-order optimal checkpoint interval
+// sqrt(2 * checkpointCost * MTBF) in virtual seconds.
+func YoungInterval(checkpointCost, mtbf float64) float64 {
+	return fault.YoungInterval(checkpointCost, mtbf)
+}
 
 // ---- Mini-app configurations ---------------------------------------------------
 

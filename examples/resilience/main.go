@@ -1,0 +1,75 @@
+// Resilience: run a coupled MG-CFD pair under an injected failure
+// process and sweep the coordinated-checkpoint interval. Because faults
+// and checkpoints both live in virtual time, the run recovers to a
+// bitwise-identical physics state and the sweep reproduces the classic
+// Young/Daly trade-off: checkpoint too often and the I/O dominates, too
+// rarely and each crash replays most of the run.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cpx"
+)
+
+func main() {
+	sim := &cpx.Simulation{
+		Instances: []cpx.Instance{
+			{Name: "rotor", Kind: cpx.MGCFD, MeshCells: 20_000, Ranks: 4, Seed: 1},
+			{Name: "stator", Kind: cpx.MGCFD, MeshCells: 20_000, Ranks: 4, Seed: 2},
+		},
+		Units: []cpx.CouplingUnit{
+			{Name: "cu", A: 0, B: 1, Kind: cpx.SlidingPlane, Points: 50_000,
+				Ranks: 2, Search: cpx.PrefetchSearch},
+		},
+		DensitySteps:    24,
+		RotationPerStep: 0.002,
+		Scale:           cpx.ProductionScale(),
+	}
+	cfg := cpx.RunConfig{Machine: cpx.ARCHER2()}
+
+	// Fault-free baseline: what the run costs when nothing goes wrong.
+	base, err := sim.RunResilient(cfg, cpx.ResilienceOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fault-free baseline: %.4f s for %d density steps\n\n", base.Elapsed, sim.DensitySteps)
+
+	// A deterministic failure process: same seed, same crashes, every run.
+	mtbf := base.Elapsed / 3
+	plan, err := cpx.NewFaultPlan(cpx.FaultSpec{
+		Seed:     7,
+		Ranks:    sim.TotalRanks(),
+		Horizon:  base.Elapsed,
+		MTBF:     mtbf,
+		Periodic: true,
+		Machine:  cfg.Machine,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("injecting %d crash(es), MTBF %.4f s\n\n", len(plan.Crashes), mtbf)
+	fmt.Printf("%-14s %12s %12s %10s\n", "ckpt every", "runtime(s)", "overhead(s)", "restarts")
+
+	for _, every := range []int{0, 1, 2, 4, 8, 12} {
+		rep, err := sim.RunResilient(cfg, cpx.ResilienceOptions{
+			Plan:            plan,
+			CheckpointEvery: every,
+			RestartCost:     mtbf / 4,
+			MaxRestarts:     2 * len(plan.Crashes),
+		})
+		if err != nil {
+			log.Fatalf("interval %d: %v", every, err)
+		}
+		label := fmt.Sprintf("%d steps", every)
+		if every == 0 {
+			label = "never"
+		}
+		fmt.Printf("%-14s %12.4f %12.4f %10d\n", label, rep.Elapsed, rep.Elapsed-base.Elapsed, rep.Attempts-1)
+	}
+
+	fmt.Println("\nEvery setting finishes with bitwise-identical solver state — the")
+	fmt.Println("fault model only moves virtual time. The minimum sits near Young's")
+	fmt.Println("first-order optimum tau* = sqrt(2 * C * MTBF).")
+}

@@ -59,6 +59,15 @@ type Machine struct {
 	// for the NIC during communication-heavy phases. Calibrated, static,
 	// deterministic. Zero means "no contention".
 	ContendingRanks int
+
+	// Stable-storage terms for coordinated checkpointing: a per-operation
+	// latency (metadata, open/sync) and the bandwidth one rank sustains to
+	// the parallel filesystem once its node-level and filesystem-level
+	// shares are accounted for. Zero StorageBW means "free checkpoints"
+	// (only the latency is charged), which keeps the fields optional for
+	// machines that never checkpoint.
+	StorageLatency float64 // seconds per checkpoint write
+	StorageBW      float64 // bytes/second/rank to stable storage
 }
 
 // ARCHER2 returns the model of the HPE-Cray EX system used in the paper:
@@ -82,6 +91,11 @@ func ARCHER2() *Machine {
 		SendOverhead:     0.3e-6,
 		RecvOverhead:     0.3e-6,
 		ContendingRanks:  32,
+		// Lustre /work: hundreds of GB/s aggregate; with collective
+		// buffering a checkpointing rank sustains a few hundred MB/s of
+		// the shared filesystem even at the paper's rank counts.
+		StorageLatency: 2e-3,
+		StorageBW:      2e8,
 	}
 }
 
@@ -104,6 +118,8 @@ func Cirrus32() *Machine {
 		SendOverhead:     0.3e-6,
 		RecvOverhead:     0.3e-6,
 		ContendingRanks:  8,
+		StorageLatency:   1e-3,
+		StorageBW:        1e8,
 	}
 }
 
@@ -124,6 +140,8 @@ func SmallCluster() *Machine {
 		SendOverhead:     0.5e-6,
 		RecvOverhead:     0.5e-6,
 		ContendingRanks:  8,
+		StorageLatency:   5e-3,
+		StorageBW:        100e6,
 	}
 }
 
@@ -138,8 +156,22 @@ func (m *Machine) Validate() error {
 		return fmt.Errorf("cluster: %s: bandwidths must be positive", m.Name)
 	case m.IntraNodeLatency < 0 || m.InterNodeLatency < 0:
 		return fmt.Errorf("cluster: %s: latencies must be non-negative", m.Name)
+	case m.StorageLatency < 0 || m.StorageBW < 0:
+		return fmt.Errorf("cluster: %s: storage terms must be non-negative", m.Name)
 	}
 	return nil
+}
+
+// CheckpointTime returns the modelled time for one rank to write a
+// checkpoint of the given size to stable storage: the storage latency
+// plus the streaming time at the rank's storage-bandwidth share. With no
+// StorageBW configured only the latency is charged.
+func (m *Machine) CheckpointTime(bytes int) float64 {
+	t := m.StorageLatency
+	if m.StorageBW > 0 && bytes > 0 {
+		t += float64(bytes) / m.StorageBW
+	}
+	return t
 }
 
 // Node returns the node index hosting the given rank under the default

@@ -1,0 +1,42 @@
+package coupler
+
+import (
+	"testing"
+
+	"cpx/internal/fault"
+)
+
+// BenchmarkRunResilientFaultFree measures the host cost of the
+// resilient wrapper with checkpointing on but no faults — the price of
+// staging snapshots and the CheckpointSync collectives on a clean run.
+func BenchmarkRunResilientFaultFree(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := resilienceSim().RunResilient(runCfg(), ResilienceOptions{CheckpointEvery: 2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunResilientWithCrash measures a full
+// crash-detect-rollback-replay cycle: one injected failure late in the
+// run, recovered from the last committed checkpoint.
+func BenchmarkRunResilientWithCrash(b *testing.B) {
+	base, err := resilienceSim().RunResilient(runCfg(), ResilienceOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan := &fault.Plan{Crashes: []fault.Crash{{Rank: 2, At: 0.9 * base.Elapsed}}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := resilienceSim().RunResilient(runCfg(), ResilienceOptions{
+			Plan:            plan,
+			CheckpointEvery: 2,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Attempts != 2 {
+			b.Fatalf("attempts = %d, want 2", res.Attempts)
+		}
+	}
+}

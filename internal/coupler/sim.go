@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"cpx/internal/fault"
 	"cpx/internal/fem"
 	"cpx/internal/mgcfd"
 	"cpx/internal/mpi"
@@ -285,6 +286,10 @@ type Report struct {
 	// descending share. Both are nil unless the run was traced.
 	Critical           *trace.CriticalPath
 	CriticalComponents []trace.LabelShare
+	// RankDigests are per-world-rank FNV hashes over the exact bit
+	// patterns of each rank's final solver/mapper state, used by the
+	// differential resilience tests to assert bitwise restart equivalence.
+	RankDigests []uint64
 }
 
 // DominantComponent returns the instance/unit carrying the largest share
@@ -332,17 +337,29 @@ func (rep *Report) ScaledElapsed(fullSteps int) float64 {
 
 // Run executes the coupled simulation and reports per-component times.
 func (sim *Simulation) Run(cfg mpi.Config) (*Report, error) {
+	return sim.run(cfg, nil)
+}
+
+// run is the common driver behind Run and RunResilient's attempts. On a
+// failed run (abort, watchdog or fault-plan crash) it still returns a
+// minimal Report carrying the partial Stats alongside the error, so
+// callers can export partial traces of aborted runs.
+func (sim *Simulation) run(cfg mpi.Config, rc *resilientCtx) (*Report, error) {
 	if err := sim.Validate(); err != nil {
 		return nil, err
 	}
-	// Per-rank setup and half-way clocks, written once by each rank
-	// (disjoint slots).
+	// Per-rank setup and half-way clocks and final state digests, written
+	// once by each rank (disjoint slots).
 	setupClocks := make([]float64, sim.TotalRanks())
 	markClocks := make([]float64, sim.TotalRanks())
+	digests := make([]uint64, sim.TotalRanks())
 	stats, err := mpi.Run(sim.TotalRanks(), cfg, func(c *mpi.Comm) error {
-		return sim.rankMain(c, setupClocks, markClocks)
+		return sim.rankMain(c, setupClocks, markClocks, digests, rc)
 	})
 	if err != nil {
+		if stats != nil {
+			return &Report{Stats: stats, Elapsed: stats.Elapsed, DensitySteps: sim.DensitySteps}, err
+		}
 		return nil, err
 	}
 	rep := &Report{
@@ -356,6 +373,7 @@ func (sim *Simulation) Run(cfg mpi.Config) (*Report, error) {
 		UnitComp:      make([]float64, len(sim.Units)),
 		UnitSetup:     make([]float64, len(sim.Units)),
 		DensitySteps:  sim.DensitySteps,
+		RankDigests:   digests,
 	}
 	for i := range sim.Instances {
 		lo, hi := sim.groupRanks(false, i)
@@ -416,12 +434,12 @@ func (sim *Simulation) simPoints(us UnitSpec) int {
 }
 
 // rankMain is the per-rank program of the coupled run.
-func (sim *Simulation) rankMain(c *mpi.Comm, setupClocks, markClocks []float64) error {
+func (sim *Simulation) rankMain(c *mpi.Comm, setupClocks, markClocks []float64, digests []uint64, rc *resilientCtx) error {
 	r := sim.roleOf(c.Rank())
 	if r.isUnit {
-		return sim.unitMain(c, r, setupClocks)
+		return sim.unitMain(c, r, setupClocks, digests, rc)
 	}
-	return sim.instanceMain(c, r, setupClocks, markClocks)
+	return sim.instanceMain(c, r, setupClocks, markClocks, digests, rc)
 }
 
 // groupComm derives the private communicator of a rank's group without
@@ -437,14 +455,18 @@ func (sim *Simulation) groupComm(world *mpi.Comm, r role) *mpi.Comm {
 }
 
 // instanceMain runs a solver instance rank.
-func (sim *Simulation) instanceMain(world *mpi.Comm, r role, setupClocks, markClocks []float64) error {
+func (sim *Simulation) instanceMain(world *mpi.Comm, r role, setupClocks, markClocks []float64, digests []uint64, rc *resilientCtx) error {
 	spec := sim.Instances[r.index]
 	group := sim.groupComm(world, r)
 
-	// Build the solver.
+	// Build the solver. snapshot/restore/digest expose its mutable state
+	// to the checkpoint/restart machinery (resilience.go).
 	var step func() error
 	var sample func(n int) []float64
 	var absorb func([]float64)
+	var snapshot func() (any, int)
+	var restore func(any) error
+	var digest func() uint64
 	switch spec.Kind {
 	case KindMGCFD:
 		s, err := mgcfd.New(group, mgcfd.Config{
@@ -456,6 +478,16 @@ func (sim *Simulation) instanceMain(world *mpi.Comm, r role, setupClocks, markCl
 		step = func() error { s.Step(); return nil }
 		sample = s.BoundarySample
 		absorb = s.AbsorbBoundary
+		snapshot = func() (any, int) { return s.Checkpoint(), s.CheckpointBytes() }
+		restore = func(st any) error {
+			ck, ok := st.(*mgcfd.Checkpoint)
+			if !ok {
+				return fmt.Errorf("snapshot holds %T, want *mgcfd.Checkpoint", st)
+			}
+			s.Restore(ck)
+			return nil
+		}
+		digest = s.StateDigest
 	case KindSIMPIC:
 		cfg := simpic.BaseSTC(spec.MeshCells)
 		if spec.Simpic != nil {
@@ -473,6 +505,16 @@ func (sim *Simulation) instanceMain(world *mpi.Comm, r role, setupClocks, markCl
 		step = func() error { s.StepBlock(1, spp); return nil }
 		sample = s.BoundarySample
 		absorb = s.AbsorbBoundary
+		snapshot = func() (any, int) { return s.Checkpoint(), s.CheckpointBytes() }
+		restore = func(st any) error {
+			ck, ok := st.(*simpic.Checkpoint)
+			if !ok {
+				return fmt.Errorf("snapshot holds %T, want *simpic.Checkpoint", st)
+			}
+			s.Restore(ck)
+			return nil
+		}
+		digest = s.StateDigest
 	case KindFEM:
 		cfg := femShellFor(spec.MeshCells)
 		if spec.FEM != nil {
@@ -489,10 +531,28 @@ func (sim *Simulation) instanceMain(world *mpi.Comm, r role, setupClocks, markCl
 		step = func() error { _, err := s.Step(); return err }
 		sample = s.BoundarySample
 		absorb = s.AbsorbBoundary
+		snapshot = func() (any, int) { return s.Checkpoint(), s.CheckpointBytes() }
+		restore = func(st any) error {
+			ck, ok := st.(*fem.Checkpoint)
+			if !ok {
+				return fmt.Errorf("snapshot holds %T, want *fem.Checkpoint", st)
+			}
+			s.Restore(ck)
+			return nil
+		}
+		digest = s.StateDigest
 	default:
 		return fmt.Errorf("instance %s: unknown kind %d", spec.Name, spec.Kind)
 	}
 	setupClocks[world.Rank()] = world.Clock()
+
+	start := 0
+	if rc.resuming() {
+		var err error
+		if start, err = rc.restoreFrom(world, restore); err != nil {
+			return fmt.Errorf("instance %s: %w", spec.Name, err)
+		}
+	}
 
 	// Units adjacent to this instance.
 	type adj struct {
@@ -512,7 +572,7 @@ func (sim *Simulation) instanceMain(world *mpi.Comm, r role, setupClocks, markCl
 	nb := boundaryRanks(spec.Ranks)
 	isBoundary := r.local < nb
 
-	for d := 0; d < sim.DensitySteps; d++ {
+	for d := start; d < sim.DensitySteps; d++ {
 		for s := 0; s < spec.stepsPerDensity(); s++ {
 			if err := step(); err != nil {
 				return err
@@ -529,7 +589,12 @@ func (sim *Simulation) instanceMain(world *mpi.Comm, r role, setupClocks, markCl
 		if d+1 == sim.DensitySteps/2 {
 			markClocks[world.Rank()] = world.Clock()
 		}
+		if rc.due(d+1, sim.DensitySteps) {
+			st, bytes := snapshot()
+			rc.checkpoint(world, d+1, st, bytes)
+		}
 	}
+	digests[world.Rank()] = digest()
 	return nil
 }
 
@@ -579,7 +644,7 @@ func sliceOf(n, nb, i int) int {
 // unitMain runs one coupling-unit rank: per exchange event, gather both
 // sides' interface data, compute/refresh the mapping, interpolate, and
 // return results.
-func (sim *Simulation) unitMain(world *mpi.Comm, r role, setupClocks []float64) error {
+func (sim *Simulation) unitMain(world *mpi.Comm, r role, setupClocks []float64, digests []uint64, rc *resilientCtx) error {
 	us := sim.Units[r.index]
 
 	simPts := sim.simPoints(us)
@@ -612,8 +677,35 @@ func (sim *Simulation) unitMain(world *mpi.Comm, r role, setupClocks []float64) 
 	}
 	setupClocks[world.Rank()] = world.Clock()
 
-	for d := 0; d < sim.DensitySteps; d++ {
+	start := 0
+	if rc.resuming() {
+		var err error
+		start, err = rc.restoreFrom(world, func(st any) error {
+			ck, ok := st.(*cuCheckpoint)
+			if !ok {
+				return fmt.Errorf("unit %s: snapshot holds %T, want *cuCheckpoint", us.Name, st)
+			}
+			mapAB.restore(ck.MapAB)
+			mapBA.restore(ck.MapBA)
+			firstMapping = ck.First
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	cuSnapshot := func() (any, int) {
+		return &cuCheckpoint{
+			MapAB: mapAB.checkpoint(), MapBA: mapBA.checkpoint(), First: firstMapping,
+		}, cuCheckpointBytes(us, cuRanks)
+	}
+
+	for d := start; d < sim.DensitySteps; d++ {
 		if (d+1)%every != 0 {
+			if rc.due(d+1, sim.DensitySteps) {
+				st, bytes := cuSnapshot()
+				rc.checkpoint(world, d+1, st, bytes)
+			}
 			continue
 		}
 		// Gather both sides' values (one message per boundary rank).
@@ -646,7 +738,18 @@ func (sim *Simulation) unitMain(world *mpi.Comm, r role, setupClocks []float64) 
 		trueOut := float64(us.effectivePoints()) / float64(cuRanks) * 5 * 8
 		world.SendVirtual(dstB, sim.unitTag(r.index, tagFromCU_B), outB, int(trueOut))
 		world.SendVirtual(dstA, sim.unitTag(r.index, tagFromCU_A), outA, int(trueOut))
+		if rc.due(d+1, sim.DensitySteps) {
+			st, bytes := cuSnapshot()
+			rc.checkpoint(world, d+1, st, bytes)
+		}
 	}
+	d := fault.NewDigest()
+	mapAB.digest(d)
+	mapBA.digest(d)
+	if firstMapping {
+		d.Int(1)
+	}
+	digests[world.Rank()] = d.Sum64()
 	return nil
 }
 

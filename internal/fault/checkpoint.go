@@ -1,0 +1,200 @@
+package fault
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// RankFailure is the ULFM-style error a receive (or a collective built
+// on receives) surfaces when its peer died: the runtime advances the
+// survivor's clock to the modelled detection time and unwinds with this
+// error instead of hanging until the watchdog.
+type RankFailure struct {
+	Rank       int     // world rank that died
+	FailedAt   float64 // virtual time of death
+	DetectedAt float64 // virtual time the survivor learned of it
+}
+
+func (e *RankFailure) Error() string {
+	return fmt.Sprintf("fault: rank %d failed at t=%.6gs (detected t=%.6gs)", e.Rank, e.FailedAt, e.DetectedAt)
+}
+
+// RanksFailed is the run-level error mpi.Run returns when a fault plan
+// killed ranks: the world did not abort — survivors unwound with
+// RankFailure errors or finished — and the job needs recovery.
+type RanksFailed struct {
+	Crashed  []int   // ranks killed by the plan, ascending
+	FailedAt float64 // earliest crash time (start of lost work)
+	// Detections are the survivors' failure observations, by world rank
+	// ascending.
+	Detections []RankFailure
+}
+
+func (e *RanksFailed) Error() string {
+	return fmt.Sprintf("fault: %d rank(s) failed (first at t=%.6gs): %v", len(e.Crashed), e.FailedAt, e.Crashed)
+}
+
+// Snapshot is one rank's contribution to a coordinated checkpoint:
+// an in-process deep copy of its solver state plus the true (full-scale)
+// byte size used for the modelled I/O cost.
+type Snapshot struct {
+	Step  int // completed steps at the checkpoint
+	Bytes int // true state size written to storage
+	State any
+}
+
+// Store holds coordinated checkpoints for one job across restart
+// attempts. Checkpoints commit in two phases: every rank stages its
+// snapshot, the runtime synchronises clocks (a collective — it fails if
+// any rank died), and each survivor then confirms. Only when all ranks
+// confirm does the checkpoint become the recovery point, so a crash
+// mid-checkpoint rolls back to the previous complete one, exactly like
+// an atomic-rename checkpoint file set.
+type Store struct {
+	mu    sync.Mutex
+	ranks int
+
+	staged    map[int]Snapshot // by rank, for the in-flight step
+	stageStep int
+	confirmed int
+
+	snaps []Snapshot // last committed checkpoint, by rank
+	step  int        // its step count
+	clock float64    // its synchronized virtual time
+	ok    bool
+}
+
+// NewStore creates a checkpoint store for a world of the given size.
+func NewStore(ranks int) *Store {
+	return &Store{ranks: ranks, staged: make(map[int]Snapshot)}
+}
+
+// Stage records a rank's snapshot for the checkpoint at `step`. Staging
+// a new step discards any incomplete previous stage.
+func (st *Store) Stage(rank int, snap Snapshot) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if snap.Step != st.stageStep {
+		st.staged = make(map[int]Snapshot)
+		st.stageStep = snap.Step
+		st.confirmed = 0
+	}
+	st.staged[rank] = snap
+}
+
+// Confirm marks a rank's staged snapshot as synchronised at virtual time
+// t. When every rank has confirmed, the checkpoint commits and becomes
+// the recovery point.
+func (st *Store) Confirm(rank, step int, t float64) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if step != st.stageStep {
+		return
+	}
+	if _, ok := st.staged[rank]; !ok {
+		return
+	}
+	st.confirmed++
+	if st.confirmed < st.ranks {
+		return
+	}
+	snaps := make([]Snapshot, st.ranks)
+	for r := 0; r < st.ranks; r++ {
+		snaps[r] = st.staged[r]
+	}
+	st.snaps, st.step, st.clock, st.ok = snaps, step, t, true
+	st.staged = make(map[int]Snapshot)
+	st.confirmed = 0
+}
+
+// Last returns the committed checkpoint's step and synchronized clock;
+// ok is false when no checkpoint has committed yet.
+func (st *Store) Last() (step int, clock float64, ok bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.step, st.clock, st.ok
+}
+
+// Load returns a rank's snapshot from the committed checkpoint.
+func (st *Store) Load(rank int) (Snapshot, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if !st.ok || rank < 0 || rank >= len(st.snaps) {
+		return Snapshot{}, false
+	}
+	return st.snaps[rank], true
+}
+
+// Runtime is the slice of the mpi communicator the checkpoint helper
+// needs; *mpi.Comm satisfies it. CheckpointSync must synchronise every
+// rank's clock to max(entry clocks) + max(costs) and return that value.
+type Runtime interface {
+	WorldRank() int
+	CheckpointSync(cost float64) float64
+}
+
+// Checkpointer drives the coordinated-checkpoint protocol for one rank:
+// stage the snapshot, synchronise clocks charging the modelled I/O cost,
+// confirm. Cost returns the per-rank I/O seconds for a snapshot size
+// (typically cluster.Machine.CheckpointTime).
+type Checkpointer struct {
+	Store *Store
+	// Every is the checkpoint cadence in steps; <= 0 disables.
+	Every int
+	Cost  func(bytes int) float64
+}
+
+// Due reports whether a checkpoint is scheduled after `completed` steps
+// of `total`: on every cadence boundary except the final step, whose
+// checkpoint no recovery could ever use.
+func (cp *Checkpointer) Due(completed, total int) bool {
+	if cp == nil || cp.Every <= 0 || completed <= 0 || completed >= total {
+		return false
+	}
+	return completed%cp.Every == 0
+}
+
+// Checkpoint runs one rank's part of a coordinated checkpoint and
+// returns the synchronized virtual time. Collective over the world.
+func (cp *Checkpointer) Checkpoint(rt Runtime, snap Snapshot) float64 {
+	cp.Store.Stage(rt.WorldRank(), snap)
+	cost := 0.0
+	if cp.Cost != nil {
+		cost = cp.Cost(snap.Bytes)
+	}
+	t := rt.CheckpointSync(cost)
+	cp.Store.Confirm(rt.WorldRank(), snap.Step, t)
+	return t
+}
+
+// Digest is an FNV-1a hash over exact float64 bit patterns, used by the
+// differential resilience tests to compare final physics states bitwise.
+type Digest struct{ h uint64 }
+
+// NewDigest returns an initialised digest.
+func NewDigest() *Digest { return &Digest{h: 14695981039346656037} }
+
+func (d *Digest) word(w uint64) {
+	for i := 0; i < 8; i++ {
+		d.h ^= w & 0xff
+		d.h *= 1099511628211
+		w >>= 8
+	}
+}
+
+// Float folds one float64's bit pattern into the digest.
+func (d *Digest) Float(x float64) { d.word(math.Float64bits(x)) }
+
+// Floats folds a slice in order.
+func (d *Digest) Floats(xs []float64) {
+	for _, x := range xs {
+		d.Float(x)
+	}
+}
+
+// Int folds an integer.
+func (d *Digest) Int(i int) { d.word(uint64(i)) }
+
+// Sum64 returns the digest value.
+func (d *Digest) Sum64() uint64 { return d.h }

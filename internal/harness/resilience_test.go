@@ -1,0 +1,61 @@
+package harness
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestResilienceExperimentQuick runs the checkpoint-interval sweep in
+// smoke geometry and checks the Young/Daly shape: every faulty run costs
+// more than the fault-free baseline, and some interior checkpoint
+// interval beats both extremes (checkpoint every step, never
+// checkpoint).
+func TestResilienceExperimentQuick(t *testing.T) {
+	o := quick()
+	tb, err := o.Resilience()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) < 4 {
+		t.Fatalf("sweep produced only %d rows:\n%s", len(tb.Rows), tb.String())
+	}
+	runtimes := map[string]float64{}
+	for _, row := range tb.Rows {
+		rt, err := strconv.ParseFloat(row[1], 64)
+		if err != nil || rt <= 0 {
+			t.Fatalf("bad runtime %q in row %v", row[1], row)
+		}
+		runtimes[row[0]] = rt
+		if restarts, _ := strconv.Atoi(row[5]); restarts < 1 {
+			t.Errorf("interval %s saw no restarts; the plan injected none?", row[0])
+		}
+	}
+	none, ok := runtimes["none"]
+	if !ok {
+		t.Fatalf("no checkpoint-free row:\n%s", tb.String())
+	}
+	everyStep, ok := runtimes["1"]
+	if !ok {
+		t.Fatalf("no every-step row:\n%s", tb.String())
+	}
+	best := none
+	for _, rt := range runtimes {
+		if rt < best {
+			best = rt
+		}
+	}
+	if best >= none || best >= everyStep {
+		t.Errorf("no interior optimum: best %.3f vs none %.3f, every-step %.3f\n%s",
+			best, none, everyStep, tb.String())
+	}
+	found := false
+	for _, n := range tb.Notes {
+		if strings.Contains(n, "tau*") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("notes missing the Young tau* comparison")
+	}
+}

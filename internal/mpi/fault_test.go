@@ -1,0 +1,352 @@
+package mpi
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"testing"
+	"time"
+
+	"cpx/internal/cluster"
+	"cpx/internal/fault"
+	"cpx/internal/trace"
+)
+
+func faultCfg(p *fault.Plan) Config {
+	return Config{Machine: cluster.SmallCluster(), Watchdog: 30 * time.Second, Faults: p}
+}
+
+// TestCrashSurfacesAsRanksFailed: a receive from a crashed rank unwinds
+// with a RankFailure after the modelled detection latency instead of
+// hanging until the watchdog, and Run reports the whole episode as
+// *fault.RanksFailed.
+func TestCrashSurfacesAsRanksFailed(t *testing.T) {
+	plan := &fault.Plan{Crashes: []fault.Crash{{Rank: 1, At: 0.5}}}
+	detected := make([]float64, 2)
+	st, err := Run(2, faultCfg(plan), func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.ComputeSeconds(0.1) // blocks in Recv well before the death
+			c.Recv(1, 3)
+		} else {
+			c.ComputeSeconds(1.0) // dies at t=0.5 inside this charge
+			c.Send(0, 3, []float64{1})
+		}
+		detected[c.Rank()] = c.Clock()
+		return nil
+	})
+	if err == nil {
+		t.Fatal("run with a killed rank succeeded")
+	}
+	var rf *fault.RanksFailed
+	if !errors.As(err, &rf) {
+		t.Fatalf("err = %v (%T), want *fault.RanksFailed", err, err)
+	}
+	if len(rf.Crashed) != 1 || rf.Crashed[0] != 1 || rf.FailedAt != 0.5 {
+		t.Fatalf("RanksFailed = %+v, want rank 1 at t=0.5", rf)
+	}
+	if len(rf.Detections) != 1 {
+		t.Fatalf("detections = %+v, want one (rank 0's)", rf.Detections)
+	}
+	d := rf.Detections[0]
+	if d.Rank != 1 || d.FailedAt != 0.5 {
+		t.Errorf("detection %+v, want rank 1 failed at 0.5", d)
+	}
+	if want := 0.5 + plan.Detection(); d.DetectedAt != want {
+		t.Errorf("DetectedAt = %v, want failure + detection latency = %v", d.DetectedAt, want)
+	}
+	// Partial stats must still come back for trace hardening.
+	if st == nil {
+		t.Fatal("no partial stats on a failed run")
+	}
+	if st.Clocks[1] != 0.5 {
+		t.Errorf("dead rank clock = %v, want clamped to crash time 0.5", st.Clocks[1])
+	}
+}
+
+// TestCrashClampsMidCompute: the dying rank's clock can never pass its
+// crash timestamp, whatever charge was in flight.
+func TestCrashClampsMidCompute(t *testing.T) {
+	plan := &fault.Plan{Crashes: []fault.Crash{{Rank: 0, At: 0.25}}}
+	st, err := Run(1, faultCfg(plan), func(c *Comm) error {
+		c.ComputeSeconds(10)
+		t.Error("rank survived past its crash time")
+		return nil
+	})
+	var rf *fault.RanksFailed
+	if !errors.As(err, &rf) {
+		t.Fatalf("err = %v, want RanksFailed", err)
+	}
+	if st.Clocks[0] != 0.25 {
+		t.Errorf("clock = %v, want exactly 0.25", st.Clocks[0])
+	}
+}
+
+// TestPendingMessagesWinOverDeath: a rank that sends and then dies still
+// delivers; only the receive with no pending message fails. This is what
+// keeps detection deterministic under host scheduling.
+func TestPendingMessagesWinOverDeath(t *testing.T) {
+	plan := &fault.Plan{Crashes: []fault.Crash{{Rank: 1, At: 0.5}}}
+	_, err := Run(2, faultCfg(plan), func(c *Comm) error {
+		if c.Rank() == 1 {
+			c.Send(0, 1, []float64{42}) // departs ~t=0, well before death
+			c.ComputeSeconds(1)         // dies here
+			return nil
+		}
+		c.ComputeSeconds(2) // ensure the message arrived and rank 1 is long dead
+		data, _, _ := c.Recv(1, 1)
+		if data[0] != 42 {
+			t.Errorf("payload %v, want the dead rank's 42", data[0])
+		}
+		// Second receive has nothing pending: must fail, not deadlock.
+		c.Recv(1, 2)
+		t.Error("receive from dead rank with no pending message returned")
+		return nil
+	})
+	var rf *fault.RanksFailed
+	if !errors.As(err, &rf) {
+		t.Fatalf("err = %v, want RanksFailed", err)
+	}
+}
+
+// TestCollectiveSurvivorsUnwind: a crash inside an allreduce unwinds
+// every survivor rather than deadlocking the tree.
+func TestCollectiveSurvivorsUnwind(t *testing.T) {
+	plan := &fault.Plan{Crashes: []fault.Crash{{Rank: 2, At: 0.1}}}
+	start := time.Now()
+	_, err := Run(8, faultCfg(plan), func(c *Comm) error {
+		c.ComputeSeconds(0.2)
+		for i := 0; i < 4; i++ {
+			c.AllreduceScalar(float64(c.Rank()), Sum)
+		}
+		return nil
+	})
+	var rf *fault.RanksFailed
+	if !errors.As(err, &rf) {
+		t.Fatalf("err = %v, want RanksFailed", err)
+	}
+	if host := time.Since(start); host > 10*time.Second {
+		t.Errorf("unwinding took %v of host time: detection is not working", host)
+	}
+}
+
+// TestFaultRunsDeterministic: two identical faulty runs observe
+// bitwise-identical clocks and detections.
+func TestFaultRunsDeterministic(t *testing.T) {
+	plan, err := fault.NewPlan(fault.Spec{
+		Seed: 11, Ranks: 6, Horizon: 2, MTBF: 0.8,
+		StragglerEvery: 0.5, LinkEvery: 0.7, Machine: cluster.SmallCluster(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := func(c *Comm) error {
+		for i := 0; i < 20; i++ {
+			c.ComputeSeconds(0.01)
+			c.Send((c.Rank()+1)%c.Size(), 1, []float64{float64(i)})
+			c.Recv((c.Rank()+c.Size()-1)%c.Size(), 1)
+		}
+		return nil
+	}
+	st1, err1 := Run(6, faultCfg(plan), prog)
+	st2, err2 := Run(6, faultCfg(plan), prog)
+	if (err1 == nil) != (err2 == nil) {
+		t.Fatalf("outcomes differ: %v vs %v", err1, err2)
+	}
+	for r := range st1.Clocks {
+		if st1.Clocks[r] != st2.Clocks[r] {
+			t.Errorf("rank %d clock %v != %v across identical runs", r, st1.Clocks[r], st2.Clocks[r])
+		}
+	}
+	var rf1, rf2 *fault.RanksFailed
+	if errors.As(err1, &rf1) && errors.As(err2, &rf2) {
+		if len(rf1.Crashed) != len(rf2.Crashed) || rf1.FailedAt != rf2.FailedAt {
+			t.Errorf("failure reports differ: %+v vs %+v", rf1, rf2)
+		}
+	}
+}
+
+// TestStragglerStretchesElapsed: a straggler window slows the run by a
+// deterministic amount; without faults the plan is a bitwise no-op.
+func TestStragglerStretchesElapsed(t *testing.T) {
+	prog := func(c *Comm) error {
+		for i := 0; i < 10; i++ {
+			c.ComputeSeconds(0.05)
+			c.Barrier()
+		}
+		return nil
+	}
+	clean, err := Run(4, faultCfg(nil), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An empty plan must not perturb a single bit.
+	empty, err := Run(4, faultCfg(&fault.Plan{}), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty.Elapsed != clean.Elapsed {
+		t.Errorf("empty plan changed elapsed: %v != %v", empty.Elapsed, clean.Elapsed)
+	}
+	slow, err := Run(4, faultCfg(&fault.Plan{
+		Stragglers: []fault.Straggler{{Node: -1, Factor: 3, From: 0, To: 100}},
+	}), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.Elapsed <= clean.Elapsed {
+		t.Errorf("straggler run %v not slower than clean %v", slow.Elapsed, clean.Elapsed)
+	}
+}
+
+// TestLinkFaultSlowsMessages: a degraded epoch stretches transfer times
+// for messages departing inside it.
+func TestLinkFaultSlowsMessages(t *testing.T) {
+	prog := func(c *Comm) error {
+		buf := make([]float64, 1<<14)
+		if c.Rank() == 0 {
+			c.Send(c.Size()-1, 1, buf)
+		} else if c.Rank() == c.Size()-1 {
+			c.Recv(0, 1)
+		}
+		return nil
+	}
+	m := cluster.SmallCluster()
+	clean, err := Run(m.CoresPerNode+1, faultCfg(nil), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := Run(m.CoresPerNode+1, faultCfg(&fault.Plan{
+		LinkFaults: []fault.LinkFault{{Node: -1, From: 0, To: 10, Alpha: 10, Beta: 10}},
+	}), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.Elapsed <= clean.Elapsed {
+		t.Errorf("degraded run %v not slower than clean %v", slow.Elapsed, clean.Elapsed)
+	}
+}
+
+// TestCheckpointSyncAlignsClocks: after CheckpointSync every rank holds
+// the identical synchronized time maxClock + maxCost.
+func TestCheckpointSyncAlignsClocks(t *testing.T) {
+	times := make([]float64, 4)
+	st, err := Run(4, faultCfg(nil), func(c *Comm) error {
+		c.ComputeSeconds(float64(c.Rank()) * 0.1) // skewed clocks
+		cost := 0.0
+		if c.Rank() == 2 {
+			cost = 0.5 // one rank writes a big snapshot
+		}
+		times[c.Rank()] = c.CheckpointSync(cost)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 1; r < 4; r++ {
+		if times[r] != times[0] {
+			t.Errorf("rank %d sync time %v != rank 0's %v", r, times[r], times[0])
+		}
+	}
+	for r := 0; r < 4; r++ {
+		if st.Clocks[r] < times[0] {
+			t.Errorf("rank %d clock %v below sync time %v", r, st.Clocks[r], times[0])
+		}
+	}
+}
+
+// TestResetClockRestartJump: the restart primitive lands on exactly the
+// requested time going forward and backward.
+func TestResetClockRestartJump(t *testing.T) {
+	st, err := Run(1, faultCfg(nil), func(c *Comm) error {
+		c.ResetClock(3.25)
+		if c.Clock() != 3.25 {
+			t.Errorf("forward reset clock = %v, want 3.25", c.Clock())
+		}
+		c.ResetClock(1.5)
+		if c.Clock() != 1.5 {
+			t.Errorf("backward reset clock = %v, want 1.5", c.Clock())
+		}
+		c.ComputeSeconds(0.5)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Elapsed != 2.0 {
+		t.Errorf("elapsed = %v, want 2.0", st.Elapsed)
+	}
+}
+
+// TestResetClockIntoCrashKills: a restart jump that crosses the rank's
+// scheduled crash time kills it (the plan owns virtual time, not the
+// restart logic).
+func TestResetClockIntoCrashKills(t *testing.T) {
+	plan := &fault.Plan{Crashes: []fault.Crash{{Rank: 0, At: 1.0}}}
+	_, err := Run(1, faultCfg(plan), func(c *Comm) error {
+		c.ResetClock(2.0)
+		t.Error("rank survived a reset across its crash time")
+		return nil
+	})
+	var rf *fault.RanksFailed
+	if !errors.As(err, &rf) {
+		t.Fatalf("err = %v, want RanksFailed", err)
+	}
+}
+
+// TestFastCollectivesDisabledUnderFaults: analytic collective replay
+// cannot model rank death, so a fault plan must force the message path.
+func TestFastCollectivesDisabledUnderFaults(t *testing.T) {
+	cfg := faultCfg(&fault.Plan{Crashes: []fault.Crash{{Rank: 1, At: 0.05}}})
+	cfg.FastCollectives = true
+	_, err := Run(4, cfg, func(c *Comm) error {
+		c.ComputeSeconds(0.1)
+		c.AllreduceScalar(1, Sum)
+		return nil
+	})
+	var rf *fault.RanksFailed
+	if !errors.As(err, &rf) {
+		t.Fatalf("err = %v, want RanksFailed (fast collectives must be off under a plan)", err)
+	}
+}
+
+// TestPartialRunExportsSafely: a crashed traced run must still yield
+// stats whose exporters (Chrome trace, comm-matrix CSV, JSON summary)
+// produce well-formed output rather than panicking on the partial data.
+func TestPartialRunExportsSafely(t *testing.T) {
+	plan := &fault.Plan{Crashes: []fault.Crash{{Rank: 1, At: 0.2}}}
+	cfg := faultCfg(plan)
+	cfg.Trace = true
+	st, err := Run(2, cfg, func(c *Comm) error {
+		c.ComputeSeconds(0.5)
+		c.Barrier()
+		return nil
+	})
+	if err == nil {
+		t.Fatal("run with a killed rank succeeded")
+	}
+	if st == nil {
+		t.Fatal("no partial stats")
+	}
+	var buf bytes.Buffer
+	if err := trace.WriteChromeTrace(&buf, st.Timelines); err != nil {
+		t.Fatalf("partial Chrome trace: %v", err)
+	}
+	buf.Reset()
+	if err := st.CommMatrix.WriteCSV(&buf); err != nil {
+		t.Fatalf("partial comm CSV: %v", err)
+	}
+	buf.Reset()
+	if err := st.Summary().WriteJSON(&buf); err != nil {
+		t.Fatalf("partial summary: %v", err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Error("partial summary is not valid JSON")
+	}
+
+	// Zero-value stats (a run that died before charging anything) must
+	// summarize without dividing by zero or indexing empty slices.
+	empty := (&Stats{}).Summary()
+	if empty.AvgCompute != 0 || empty.AvgComm != 0 {
+		t.Errorf("empty stats averages = %v/%v, want 0/0", empty.AvgCompute, empty.AvgComm)
+	}
+}

@@ -1,6 +1,10 @@
 package mpi
 
-import "sync"
+import (
+	"sync"
+
+	"cpx/internal/fault"
+)
 
 // The mailbox is the per-rank incoming message queue. Matching is FIFO
 // per (communicator, source, tag) — MPI's non-overtaking rule — so the
@@ -162,16 +166,27 @@ func (b *mailbox) tryTake(ctx, src, tag int) *message {
 }
 
 // take removes and returns the first message matching (ctx, src, tag),
-// blocking until one is available or the world aborts.
-func (b *mailbox) take(w *World, ctx, src, tag int) *message {
+// blocking until one is available or the world aborts. A non-nil
+// deadCheck is probed whenever no message is pending: if it reports the
+// source dead, take returns the failure instead of blocking forever.
+// Pending messages win over a death (a rank that sent before dying
+// still delivers), which keeps the outcome independent of host
+// scheduling: whether a message exists at a virtual time is decided by
+// the plan, not by goroutine interleaving.
+func (b *mailbox) take(w *World, ctx, src, tag int, deadCheck func() *fault.RankFailure) (*message, *fault.RankFailure) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	for {
 		if m := b.tryTake(ctx, src, tag); m != nil {
-			return m
+			return m, nil
 		}
 		if w.aborted() {
 			panic(errAborted)
+		}
+		if deadCheck != nil {
+			if rf := deadCheck(); rf != nil {
+				return nil, rf
+			}
 		}
 		b.wantCtx, b.wantSrc, b.wantTag = ctx, src, tag
 		b.waiting = true

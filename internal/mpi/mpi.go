@@ -25,11 +25,13 @@ package mpi
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"time"
 
 	"cpx/internal/cluster"
+	"cpx/internal/fault"
 	"cpx/internal/trace"
 )
 
@@ -67,13 +69,25 @@ type message struct {
 
 var errAborted = errors.New("mpi: world aborted due to failure on another rank")
 
+// errKilled is the unwind sentinel of a rank reaching its fault-plan
+// crash time. Unlike errAborted it does not abort the world: survivors
+// keep running and observe the death through failure detection.
+var errKilled = errors.New("mpi: rank killed by fault plan")
+
 // World holds the shared state of one simulated job.
 type World struct {
 	size     int
 	machine  *cluster.Machine
 	boxes    []*mailbox
 	procs    []*proc
-	fastColl bool // Config.FastCollectives && !Config.Trace
+	fastColl bool // Config.FastCollectives && !Config.Trace && no fault plan
+	plan     *fault.Plan
+
+	// deadMu guards deadAt: per-rank virtual death times (< 0 = alive).
+	// A rank is recorded dead only once its goroutine can no longer send,
+	// so "dead with no pending message" is a stable, deterministic fact.
+	deadMu sync.Mutex
+	deadAt []float64
 
 	ctxMu   sync.Mutex
 	ctxs    map[ctxKey]int
@@ -117,6 +131,36 @@ func (w *World) setAborted() {
 	for _, st := range stations {
 		st.interrupt()
 	}
+}
+
+// recordDeath marks a rank dead at a virtual time and wakes every
+// blocked receiver so it can run failure detection. Called only after
+// the dying rank has delivered its last message (it panics at a charge
+// point, before any subsequent put), so receivers always drain pending
+// traffic before observing the death.
+func (w *World) recordDeath(rank int, at float64) {
+	w.deadMu.Lock()
+	if w.deadAt[rank] < 0 {
+		w.deadAt[rank] = at
+	}
+	w.deadMu.Unlock()
+	for _, b := range w.boxes {
+		b.interrupt()
+	}
+}
+
+// failureFor returns the failure record of a dead rank, or nil.
+func (w *World) failureFor(rank int) *fault.RankFailure {
+	if w.plan == nil {
+		return nil
+	}
+	w.deadMu.Lock()
+	at := w.deadAt[rank]
+	w.deadMu.Unlock()
+	if at < 0 {
+		return nil
+	}
+	return &fault.RankFailure{Rank: rank, FailedAt: at}
 }
 
 // fail records a runtime-level failure (e.g. the watchdog firing) and
@@ -167,11 +211,42 @@ type proc struct {
 	timeline *trace.Timeline
 	comms    map[int]*commCell
 	op       string
+
+	// Fault-plan state (Config.Faults). crashAt is this rank's scheduled
+	// death time (+Inf = never); the clock can never pass it — any charge
+	// that would cross it is truncated and the rank dies. node feeds the
+	// plan's straggler/link lookups; world backs the death record.
+	world   *World
+	crashAt float64
+	node    int
+}
+
+// clamp truncates a clock target at the rank's crash time, reporting
+// whether the rank dies at the end of this charge.
+func (p *proc) clamp(t1 float64) (float64, bool) {
+	if t1 < p.crashAt {
+		return t1, false
+	}
+	return p.crashAt, true
+}
+
+// die records the rank's death at its current clock and unwinds. The
+// death is published before the panic so no later send can exist.
+func (p *proc) die() {
+	p.world.recordDeath(p.worldRank, p.clock)
+	panic(errKilled)
 }
 
 func (p *proc) chargeCompute(s float64) {
+	if p.world != nil && p.world.plan != nil {
+		s = p.world.plan.ComputeSeconds(p.node, p.clock, s)
+	}
 	t0 := p.clock
-	p.clock += s
+	t1, died := p.clamp(p.clock + s)
+	if died {
+		s = t1 - t0 // truncated at the crash
+	}
+	p.clock = t1
 	p.compute += s
 	if p.profile != nil {
 		p.profile.AddCompute(s)
@@ -180,13 +255,20 @@ func (p *proc) chargeCompute(s float64) {
 		p.timeline.Add(trace.Event{Kind: trace.EvCompute, T0: t0, T1: p.clock,
 			Region: p.profile.Current(), Op: p.op, Peer: -1})
 	}
+	if died {
+		p.die()
+	}
 }
 
 // chargeCommAs charges s seconds of communication, recording a timeline
 // event of the given kind when tracing is on.
 func (p *proc) chargeCommAs(s float64, kind trace.EventKind, peer, bytes, tag int) {
 	t0 := p.clock
-	p.clock += s
+	t1, died := p.clamp(p.clock + s)
+	if died {
+		s = t1 - t0 // truncated at the crash
+	}
+	p.clock = t1
 	p.comm += s
 	if p.profile != nil {
 		p.profile.AddComm(s)
@@ -194,6 +276,9 @@ func (p *proc) chargeCommAs(s float64, kind trace.EventKind, peer, bytes, tag in
 	if p.timeline != nil {
 		p.timeline.Add(trace.Event{Kind: kind, T0: t0, T1: p.clock,
 			Region: p.profile.Current(), Op: p.op, Peer: peer, Bytes: bytes, Tag: tag})
+	}
+	if died {
+		p.die()
 	}
 }
 
@@ -206,17 +291,21 @@ func (p *proc) waitUntil(m *message) {
 	if m.arrival <= p.clock {
 		return
 	}
-	wait := m.arrival - p.clock
+	t1, died := p.clamp(m.arrival)
+	wait := t1 - p.clock
 	t0 := p.clock
-	p.clock = m.arrival
+	p.clock = t1
 	p.comm += wait
 	if p.profile != nil {
 		p.profile.AddComm(wait)
 	}
 	if p.timeline != nil {
-		p.timeline.Add(trace.Event{Kind: trace.EvWait, T0: t0, T1: m.arrival,
+		p.timeline.Add(trace.Event{Kind: trace.EvWait, T0: t0, T1: t1,
 			Region: p.profile.Current(), Op: p.op,
 			Peer: m.srcWorld, Bytes: m.bytes, Tag: m.tag, SendT: m.departure})
+	}
+	if died {
+		p.die()
 	}
 }
 
@@ -363,6 +452,41 @@ func (c *Comm) ChargeCommSeconds(s float64) {
 	c.proc.chargeComm(s)
 }
 
+// ResetClock sets the rank clock to exactly t — the restart primitive
+// of checkpoint/restart: a recovered world rebuilds its solvers and
+// resumes exactly at the checkpoint's synchronized virtual time, so a
+// recovered run's stepping clocks are bitwise identical to a fault-free
+// run's. A forward jump is charged as communication (checkpoint I/O and
+// coordination wait), which also keeps traced timelines tiling; a small
+// backward set (a rank ahead of a checkpoint-sync target) adjusts the
+// clock silently. A reset that would cross the rank's scheduled crash
+// time kills the rank.
+func (c *Comm) ResetClock(t float64) {
+	p := c.proc
+	if t > p.clock {
+		p.chargeCommAs(t-p.clock, trace.EvComm, -1, 0, 0)
+		return
+	}
+	p.clock = t
+	if _, died := p.clamp(t); died {
+		p.die()
+	}
+}
+
+// CheckpointSync is the clock coordination of one checkpoint: an
+// allreduce of every rank's (entry clock, local I/O cost) maxima, after
+// which each rank's clock is set to exactly maxClock + maxCost — the
+// virtual time the coordinated checkpoint completes, identical across
+// ranks bit for bit. Collective over the communicator; satisfies
+// fault.Runtime.
+func (c *Comm) CheckpointSync(cost float64) float64 {
+	defer c.proc.pushOp("checkpoint")()
+	r := c.Allreduce([]float64{c.proc.clock, cost}, Max)
+	t := r[0] + r[1]
+	c.ResetClock(t)
+	return t
+}
+
 // payloadBytes reports the wire size of a supported generic payload.
 // Float payloads never pass through here: they travel in message.f64 via
 // sendF64, avoiding the interface boxing.
@@ -419,7 +543,11 @@ func (c *Comm) finishSend(to, tag int, m *message, chargedBytes int) {
 	m.ctx, m.src, m.srcWorld, m.tag = c.ctx, c.rank, srcWorld, tag
 	m.bytes = chargedBytes
 	m.departure = departure
-	m.arrival = departure + mach.TransferTime(srcWorld, dstWorld, chargedBytes)
+	if plan := c.world.plan; plan != nil {
+		m.arrival = departure + plan.TransferTime(mach, srcWorld, dstWorld, chargedBytes, departure)
+	} else {
+		m.arrival = departure + mach.TransferTime(srcWorld, dstWorld, chargedBytes)
+	}
 	c.world.boxes[dstWorld].put(m)
 }
 
@@ -440,14 +568,43 @@ func (c *Comm) sendRaw(to, tag int, data any) {
 	c.finishSend(to, tag, m, payloadBytes(data))
 }
 
+// failPeer surfaces a peer's death ULFM-style: the survivor's clock
+// advances to the modelled detection time (death + detection latency,
+// accounted as wait) and the receive unwinds with the RankFailure. The
+// error propagates through any collective built on receives, so whole
+// communicators learn of the failure instead of deadlocking.
+func (c *Comm) failPeer(rf *fault.RankFailure) {
+	detect := rf.FailedAt + c.world.plan.Detection()
+	if detect > c.proc.clock {
+		c.proc.chargeCommAs(detect-c.proc.clock, trace.EvWait, -1, 0, 0)
+	}
+	rf.DetectedAt = c.proc.clock
+	panic(rf)
+}
+
+// deadCheckFor builds the failure probe a blocked receive runs against a
+// specific source, or nil when failure detection cannot apply.
+func (c *Comm) deadCheckFor(from int) func() *fault.RankFailure {
+	if c.world.plan == nil || from == AnySource {
+		return nil
+	}
+	src := c.worldRankOf(from)
+	return func() *fault.RankFailure { return c.world.failureFor(src) }
+}
+
 // recvRaw blocks for a matching message and advances the virtual clock.
 // The returned message must be handed back via releaseMessage once its
-// payload has been taken.
+// payload has been taken. Under a fault plan, a receive from a dead rank
+// with no pending message fails via failPeer; pending messages are
+// always drained first (a rank that sent before dying still delivers).
 func (c *Comm) recvRaw(from, tag int) *message {
 	if from != AnySource {
 		c.checkPeer(from, "Recv")
 	}
-	msg := c.world.boxes[c.proc.worldRank].take(c.world, c.ctx, from, tag)
+	msg, rf := c.world.boxes[c.proc.worldRank].take(c.world, c.ctx, from, tag, c.deadCheckFor(from))
+	if rf != nil {
+		c.failPeer(rf)
+	}
 	// The jump to the arrival time is time this rank spent waiting.
 	c.proc.waitUntil(msg)
 	c.proc.chargeCommAs(c.world.machine.RecvOverhead, trace.EvRecv, msg.srcWorld, msg.bytes, msg.tag)
@@ -485,7 +642,7 @@ func (c *Comm) RecvAll(n, tag int) (data [][]float64, sources []int) {
 	msgs := make([]got, 0, n)
 	var latest message // the message whose arrival completes the Waitall
 	for i := 0; i < n; i++ {
-		m := c.world.boxes[c.proc.worldRank].take(c.world, c.ctx, AnySource, tag)
+		m, _ := c.world.boxes[c.proc.worldRank].take(c.world, c.ctx, AnySource, tag, nil)
 		if m.payload != nil {
 			panic(fmt.Sprintf("mpi: RecvAll type mismatch: got %T, want []float64", m.payload))
 		}
@@ -640,10 +797,20 @@ func (s *Stats) Summary() *trace.RunSummary {
 func (s *Stats) MaxCompute() float64 { return maxOf(s.Compute) }
 
 // AvgCompute returns the mean per-rank compute time.
-func (s *Stats) AvgCompute() float64 { return sumOf(s.Compute) / float64(s.Ranks) }
+func (s *Stats) AvgCompute() float64 {
+	if s.Ranks == 0 {
+		return 0
+	}
+	return sumOf(s.Compute) / float64(s.Ranks)
+}
 
 // AvgComm returns the mean per-rank communication time.
-func (s *Stats) AvgComm() float64 { return sumOf(s.Comm) / float64(s.Ranks) }
+func (s *Stats) AvgComm() float64 {
+	if s.Ranks == 0 {
+		return 0
+	}
+	return sumOf(s.Comm) / float64(s.Ranks)
+}
 
 // CommFraction is the mean fraction of run-time spent communicating.
 func (s *Stats) CommFraction() float64 {
@@ -711,11 +878,25 @@ type Config struct {
 	// catching deadlocked communication patterns in tests. Defaults to
 	// 120 s; negative disables.
 	Watchdog time.Duration
+	// Faults injects the deterministic failure schedule of a fault.Plan:
+	// rank crashes, straggler nodes and degraded links (DESIGN.md §7).
+	// When ranks crash, Run returns partial Stats plus a
+	// *fault.RanksFailed error instead of aborting; survivors observe
+	// dead peers as *fault.RankFailure errors after the plan's detection
+	// latency. A fault plan forces the message-level collective path
+	// (FastCollectives is ignored) so failures propagate through
+	// collectives. The plan must not be mutated during the run.
+	Faults *fault.Plan
 }
 
 // Run executes fn on `size` simulated ranks and returns timing statistics.
 // Any rank returning an error or panicking aborts the whole world; the
-// first failure is reported.
+// first failure is reported. Ranks killed by a fault plan (Config.Faults)
+// do not abort: the run completes, survivors observing the death unwind
+// with *fault.RankFailure, and Run returns a *fault.RanksFailed error.
+// On any error the returned Stats still describe the partial run (clocks
+// and timelines up to each rank's last charge), so aborted runs export
+// cleanly; callers must treat them as incomplete.
 func Run(size int, cfg Config, fn func(*Comm) error) (*Stats, error) {
 	if size <= 0 {
 		return nil, fmt.Errorf("mpi: size must be positive, got %d", size)
@@ -727,6 +908,15 @@ func Run(size int, cfg Config, fn func(*Comm) error) (*Stats, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
+	plan := cfg.Faults
+	if plan != nil {
+		if err := plan.Validate(); err != nil {
+			return nil, err
+		}
+		if plan.Empty() {
+			plan = nil
+		}
+	}
 	w := &World{
 		size:     size,
 		machine:  m,
@@ -734,11 +924,17 @@ func Run(size int, cfg Config, fn func(*Comm) error) (*Stats, error) {
 		procs:    make([]*proc, size),
 		ctxs:     make(map[ctxKey]int),
 		stations: make(map[int]*station),
-		fastColl: cfg.FastCollectives && !cfg.Trace,
+		fastColl: cfg.FastCollectives && !cfg.Trace && plan == nil,
+		plan:     plan,
+		deadAt:   make([]float64, size),
 	}
 	for i := range w.boxes {
 		w.boxes[i] = newMailbox()
-		w.procs[i] = &proc{worldRank: i}
+		w.procs[i] = &proc{worldRank: i, world: w, crashAt: math.Inf(1), node: m.Node(i)}
+		w.deadAt[i] = -1
+		if plan != nil {
+			w.procs[i].crashAt = plan.CrashTime(i)
+		}
 		if cfg.Profile || cfg.Trace {
 			w.procs[i].profile = trace.NewProfile()
 		}
@@ -771,17 +967,44 @@ func Run(size int, cfg Config, fn func(*Comm) error) (*Stats, error) {
 		go func(rank int) {
 			defer wg.Done()
 			defer func() {
-				if rec := recover(); rec != nil {
-					if rec == errAborted {
-						errs[rank] = errAborted
-					} else {
-						errs[rank] = fmt.Errorf("mpi: rank %d panicked: %v", rank, rec)
-					}
-					w.setAborted()
+				rec := recover()
+				if rec == nil {
+					return
 				}
+				if err, ok := rec.(error); ok {
+					switch {
+					case err == errAborted:
+						errs[rank] = errAborted
+						w.setAborted()
+						return
+					case err == errKilled:
+						// Death already recorded by die(); the world keeps
+						// running so survivors can detect and unwind.
+						errs[rank] = errKilled
+						return
+					}
+					var rf *fault.RankFailure
+					if errors.As(err, &rf) {
+						// This rank observed a dead peer and unwound. It will
+						// never send again, so it is dead to *its* peers too:
+						// record the cascade so they unblock deterministically.
+						errs[rank] = err
+						w.recordDeath(rank, w.procs[rank].clock)
+						return
+					}
+				}
+				errs[rank] = fmt.Errorf("mpi: rank %d panicked: %v", rank, rec)
+				w.setAborted()
 			}()
 			comm := &Comm{world: w, proc: w.procs[rank], ctx: 0, rank: rank}
 			if err := fn(comm); err != nil {
+				var rf *fault.RankFailure
+				if errors.As(err, &rf) {
+					// fn propagated a failure detection as a return value.
+					errs[rank] = err
+					w.recordDeath(rank, w.procs[rank].clock)
+					return
+				}
 				errs[rank] = fmt.Errorf("mpi: rank %d: %w", rank, err)
 				w.setAborted()
 			}
@@ -795,7 +1018,11 @@ func Run(size int, cfg Config, fn func(*Comm) error) (*Stats, error) {
 
 	var firstErr error
 	for _, e := range errs {
-		if e != nil && !errors.Is(e, errAborted) {
+		if e != nil && !errors.Is(e, errAborted) && !errors.Is(e, errKilled) {
+			var rf *fault.RankFailure
+			if errors.As(e, &rf) {
+				continue
+			}
 			firstErr = e
 			break
 		}
@@ -803,11 +1030,31 @@ func Run(size int, cfg Config, fn func(*Comm) error) (*Stats, error) {
 	if firstErr == nil {
 		firstErr = runtimeErr
 	}
+	if firstErr == nil && plan != nil {
+		// Assemble the fault outcome: the ranks the plan killed plus the
+		// survivors' detections, all in rank order.
+		var crashed []int
+		var detections []fault.RankFailure
+		earliest := math.Inf(1)
+		for r, e := range errs {
+			if errors.Is(e, errKilled) {
+				crashed = append(crashed, r)
+				if at := w.deadAt[r]; at >= 0 && at < earliest {
+					earliest = at
+				}
+			} else if e != nil {
+				var rf *fault.RankFailure
+				if errors.As(e, &rf) {
+					detections = append(detections, *rf)
+				}
+			}
+		}
+		if len(crashed) > 0 || len(detections) > 0 {
+			firstErr = &fault.RanksFailed{Crashed: crashed, FailedAt: earliest, Detections: detections}
+		}
+	}
 	if firstErr == nil && w.aborted() {
 		firstErr = errAborted
-	}
-	if firstErr != nil {
-		return nil, firstErr
 	}
 
 	st := &Stats{
@@ -839,5 +1086,5 @@ func Run(size int, cfg Config, fn func(*Comm) error) (*Stats, error) {
 	if st.CommMatrix != nil {
 		st.CommMatrix.Sort()
 	}
-	return st, nil
+	return st, firstErr
 }

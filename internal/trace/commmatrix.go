@@ -32,6 +32,9 @@ func (m *CommMatrix) AddEdge(src, dst int, messages, bytes int64) {
 
 // Sort orders edges by (Src, Dst) and merges duplicates.
 func (m *CommMatrix) Sort() {
+	if m == nil {
+		return
+	}
 	sort.Slice(m.Edges, func(i, j int) bool {
 		if m.Edges[i].Src != m.Edges[j].Src {
 			return m.Edges[i].Src < m.Edges[j].Src
@@ -52,6 +55,9 @@ func (m *CommMatrix) Sort() {
 
 // Totals returns the total message and byte counts over all edges.
 func (m *CommMatrix) Totals() (messages, bytes int64) {
+	if m == nil {
+		return 0, 0
+	}
 	for _, e := range m.Edges {
 		messages += e.Messages
 		bytes += e.Bytes
@@ -60,12 +66,18 @@ func (m *CommMatrix) Totals() (messages, bytes int64) {
 }
 
 // WriteCSV emits the sparse matrix as "src,dst,messages,bytes" rows in
-// (src, dst) order, for external heat-map plotting.
+// (src, dst) order, for external heat-map plotting. A nil matrix (an
+// untraced or aborted run) writes just the header, so exporting partial
+// artifacts never panics.
 func (m *CommMatrix) WriteCSV(w io.Writer) error {
 	m.Sort()
 	cw := csv.NewWriter(w)
 	if err := cw.Write([]string{"src", "dst", "messages", "bytes"}); err != nil {
 		return err
+	}
+	if m == nil {
+		cw.Flush()
+		return cw.Error()
 	}
 	for _, e := range m.Edges {
 		rec := []string{

@@ -1,0 +1,59 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// Aborted runs hand the exporters partial products: nil comm matrices,
+// nil timeline slots, timelines cut short mid-run. None of that may
+// panic, and the outputs must stay well-formed.
+
+func TestNilCommMatrixIsSafe(t *testing.T) {
+	var m *CommMatrix
+	m.Sort() // must not panic
+	if msgs, b := m.Totals(); msgs != 0 || b != 0 {
+		t.Errorf("nil matrix totals = %d msgs, %d bytes; want zeros", msgs, b)
+	}
+	var buf bytes.Buffer
+	if err := m.WriteCSV(&buf); err != nil {
+		t.Fatalf("nil matrix WriteCSV: %v", err)
+	}
+	if got := strings.TrimSpace(buf.String()); got != "src,dst,messages,bytes" {
+		t.Errorf("nil matrix CSV = %q, want header only", got)
+	}
+}
+
+func TestWriteChromeTracePartialTimelines(t *testing.T) {
+	tl := NewTimeline(1, 0)
+	tl.Add(Event{Kind: EvCompute, T0: 0, T1: 0.5, Region: "flux", Peer: -1})
+	// Rank 0 died before recording anything; rank 2's slot is nil.
+	cases := [][]*Timeline{
+		nil,
+		{},
+		{NewTimeline(0, 0), tl, nil},
+	}
+	for i, tls := range cases {
+		var buf bytes.Buffer
+		if err := WriteChromeTrace(&buf, tls); err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		var out map[string]any
+		if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+			t.Fatalf("case %d: invalid JSON: %v", i, err)
+		}
+	}
+}
+
+func TestRunSummaryWithMissingSections(t *testing.T) {
+	s := &RunSummary{Ranks: 4, Elapsed: 1.5}
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "critical_path") {
+		t.Error("empty critical-path section serialized")
+	}
+}
