@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: check vet lint build test test-race race bench-smoke bench-trace bench-mpi bench-fault
+.PHONY: check vet lint build test test-race race serve-smoke bench-smoke bench-trace bench-mpi bench-fault bench-serve
 
-check: vet lint build test race bench-smoke bench-fault
+check: vet lint build test race serve-smoke bench-smoke bench-fault
 
 vet:
 	$(GO) vet ./...
@@ -32,6 +32,12 @@ race:
 test-race:
 	$(GO) test -race ./...
 
+# End-to-end self-test of the cpxserve HTTP service on an ephemeral
+# port: health, a demo allocation served byte-identically from the
+# cache on repeat, a small coupled simulation, metrics.
+serve-smoke:
+	$(GO) run ./cmd/cpxserve -smoke
+
 # One iteration of every runtime benchmark: catches benchmarks that no
 # longer compile or run, without the cost of a real measurement.
 bench-smoke:
@@ -49,3 +55,10 @@ bench-mpi:
 # crash-recovery cycle); baselines recorded in BENCH_fault.json.
 bench-fault:
 	$(GO) test -run '^$$' -bench 'BenchmarkRunResilient' -benchtime 1x ./internal/coupler/
+
+# Re-measure the serving baselines recorded in BENCH_serve.json (cached
+# vs uncached request path) and BENCH_perfmodel.json (Alg. 1 fast path
+# vs the reference implementation).
+bench-serve:
+	$(GO) test -run '^$$' -bench 'BenchmarkServeAllocate' -benchmem -count 5 ./internal/serve/
+	$(GO) test -run '^$$' -bench 'BenchmarkAllocate' -benchmem -count 5 ./internal/perfmodel/

@@ -7,7 +7,8 @@
 //	cpxmodel -components comps.json -budget 40000
 //	cpxmodel -demo
 //
-// Component schema (JSON array):
+// Component schema (JSON array) — the same schema cpxserve accepts in
+// POST /v1/allocate bodies:
 //
 //	[
 //	  {"name": "row1 (24M)", "isCU": false, "minRanks": 100,
@@ -16,8 +17,9 @@
 //	               {"cores": 1024, "runtime": 15.5}]}
 //	]
 //
-// Each component's curve is fitted from its samples; sizeRatio/iterRatio
-// scale the base case to the target problem as in the paper.
+// Each component's curve is fitted from its samples (or taken verbatim
+// from an explicit "curve" object); sizeRatio/iterRatio scale the base
+// case to the target problem as in the paper.
 package main
 
 import (
@@ -27,32 +29,15 @@ import (
 	"os"
 
 	"cpx/internal/perfmodel"
+	"cpx/internal/serve"
 )
 
-type jsonComponent struct {
-	Name      string             `json:"name"`
-	IsCU      bool               `json:"isCU"`
-	MinRanks  int                `json:"minRanks"`
-	SizeRatio float64            `json:"sizeRatio"`
-	IterRatio float64            `json:"iterRatio"`
-	Samples   []perfmodel.Sample `json:"samples"`
-}
-
-func demoComponents() []jsonComponent {
-	mk := func(name string, base float64, p50 float64, isCU bool) jsonComponent {
-		truth := perfmodel.Curve{BaseCores: 100, BaseTime: base, P50: p50, K: 1.3}
-		var samples []perfmodel.Sample
-		for _, p := range []int{100, 200, 400, 800, 1600, 3200} {
-			samples = append(samples, perfmodel.Sample{Cores: p, Runtime: truth.Runtime(float64(p))})
-		}
-		return jsonComponent{Name: name, IsCU: isCU, MinRanks: 100, Samples: samples}
+// checkBudget rejects a core budget Algorithm 1 cannot allocate from.
+func checkBudget(budget int) error {
+	if budget <= 0 {
+		return fmt.Errorf("budget must be a positive core count, got %d", budget)
 	}
-	return []jsonComponent{
-		mk("compressor row (24M)", 30, 5000, false),
-		mk("combustor (380M equiv)", 400, 2500, false),
-		mk("turbine row (150M)", 90, 8000, false),
-		mk("coupling unit", 0.5, 200, true),
-	}
+	return nil
 }
 
 func main() {
@@ -61,10 +46,15 @@ func main() {
 	demo := flag.Bool("demo", false, "run a built-in demo allocation")
 	flag.Parse()
 
-	var comps []jsonComponent
+	if err := checkBudget(*budget); err != nil {
+		fmt.Fprintf(os.Stderr, "cpxmodel: %v\n", err)
+		os.Exit(2)
+	}
+
+	var comps []serve.ComponentSpec
 	switch {
 	case *demo:
-		comps = demoComponents()
+		comps = serve.DemoComponents()
 	case *path != "":
 		raw, err := os.ReadFile(*path)
 		if err != nil {
@@ -80,19 +70,16 @@ func main() {
 		os.Exit(2)
 	}
 
-	var model []perfmodel.Component
-	for _, jc := range comps {
-		curve, err := perfmodel.FitCurve(jc.Samples)
+	model := make([]perfmodel.Component, 0, len(comps))
+	for _, cs := range comps {
+		c, err := cs.Build()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "cpxmodel: fitting %q: %v\n", jc.Name, err)
+			fmt.Fprintf(os.Stderr, "cpxmodel: %v\n", err)
 			os.Exit(1)
 		}
 		fmt.Printf("fitted %-28s base %6.1fs @ %5d cores, PE knee p50=%.0f k=%.2f\n",
-			jc.Name, curve.BaseTime, curve.BaseCores, curve.P50, curve.K)
-		model = append(model, perfmodel.Component{
-			Name: jc.Name, Curve: curve, IsCU: jc.IsCU,
-			MinRanks: jc.MinRanks, SizeRatio: jc.SizeRatio, IterRatio: jc.IterRatio,
-		})
+			c.Name, c.Curve.BaseTime, c.Curve.BaseCores, c.Curve.P50, c.Curve.K)
+		model = append(model, c)
 	}
 	alloc, err := perfmodel.Allocate(model, *budget)
 	if err != nil {

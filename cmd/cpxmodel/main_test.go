@@ -4,22 +4,17 @@ import (
 	"testing"
 
 	"cpx/internal/perfmodel"
+	"cpx/internal/serve"
 )
 
 func TestDemoComponentsFitAndAllocate(t *testing.T) {
-	comps := demoComponents()
+	comps := serve.DemoComponents()
 	if len(comps) != 4 {
 		t.Fatalf("demo components = %d", len(comps))
 	}
-	var model []perfmodel.Component
-	for _, jc := range comps {
-		curve, err := perfmodel.FitCurve(jc.Samples)
-		if err != nil {
-			t.Fatalf("fitting %q: %v", jc.Name, err)
-		}
-		model = append(model, perfmodel.Component{
-			Name: jc.Name, Curve: curve, IsCU: jc.IsCU, MinRanks: jc.MinRanks,
-		})
+	model, err := serve.BuildComponents(comps)
+	if err != nil {
+		t.Fatal(err)
 	}
 	alloc, err := perfmodel.Allocate(model, 10_000)
 	if err != nil {
@@ -35,5 +30,16 @@ func TestDemoComponentsFitAndAllocate(t *testing.T) {
 	}
 	if model[maxIdx].Name != "combustor (380M equiv)" {
 		t.Errorf("largest allocation went to %q", model[maxIdx].Name)
+	}
+}
+
+func TestCheckBudget(t *testing.T) {
+	for _, bad := range []int{0, -1, -40000} {
+		if err := checkBudget(bad); err == nil {
+			t.Errorf("checkBudget(%d) accepted a non-positive budget", bad)
+		}
+	}
+	if err := checkBudget(1); err != nil {
+		t.Errorf("checkBudget(1): %v", err)
 	}
 }

@@ -1,0 +1,195 @@
+// Command cpxserve runs the CPX prediction/simulation service: an HTTP
+// JSON API over the empirical performance model (fit PE curves, run the
+// Algorithm 1 allocation, predict speedups) and the virtual-time coupled
+// simulator (full scenario jobs, the cpxsim -config schema as the
+// request body).
+//
+// Usage:
+//
+//	cpxserve -addr :8080
+//	cpxserve -smoke        # self-test against an ephemeral port and exit
+//
+// Endpoints:
+//
+//	GET  /healthz      liveness + queue/cache gauges
+//	GET  /metrics      Prometheus text exposition
+//	POST /v1/fit       {"samples": [{"cores": 100, "runtime": 30}, ...]}
+//	POST /v1/allocate  {"budget": 40000, "components": [...]}
+//	POST /v1/speedup   {"budget": 40000, "base": [...], "optimized": [...]}
+//	POST /v1/simulate  a cpxsim scenario (+ "seedOffset", "fastColl")
+//
+// A ?timeout=30s query parameter sets the per-request deadline; when it
+// expires the job is cancelled and every rank goroutine unwinds. The
+// worker pool is bounded: a full queue answers 429 with Retry-After.
+// Identical requests are served from a content-addressed cache with the
+// byte-identical artifact — sound because the model and the simulator
+// are deterministic. SIGINT/SIGTERM trigger a graceful shutdown that
+// drains in-flight jobs.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"cpx/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "concurrent jobs (0 = default 4)")
+	queue := flag.Int("queue", 0, "job queue length (0 = default 16)")
+	timeout := flag.Duration("timeout", 0, "default per-request deadline (0 = 60s)")
+	smoke := flag.Bool("smoke", false, "self-test against an ephemeral port, then exit")
+	flag.Parse()
+
+	opts := serve.Options{Workers: *workers, QueueLen: *queue, DefaultTimeout: *timeout}
+	if *smoke {
+		if err := runSmoke(opts); err != nil {
+			fmt.Fprintf(os.Stderr, "cpxserve: smoke: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("cpxserve: smoke OK")
+		return
+	}
+	if err := runServer(*addr, opts); err != nil {
+		fmt.Fprintf(os.Stderr, "cpxserve: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// runServer serves until SIGINT/SIGTERM, then shuts down gracefully:
+// stop accepting, let in-flight handlers finish, drain the pool.
+func runServer(addr string, opts serve.Options) error {
+	s := serve.New(opts)
+	hs := &http.Server{Addr: addr, Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	fmt.Printf("cpxserve: listening on %s\n", addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		s.Close()
+		return err
+	case <-sig:
+	}
+	fmt.Println("cpxserve: shutting down, draining jobs")
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	err := hs.Shutdown(ctx)
+	s.Close()
+	return err
+}
+
+// runSmoke exercises the full serving path end to end on an ephemeral
+// port: health, a demo allocation (miss, then byte-identical hit), a
+// small coupled simulation, and the metrics exposition.
+func runSmoke(opts serve.Options) error {
+	s := serve.New(opts)
+	defer s.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: s.Handler()}
+	go hs.Serve(ln)
+	defer hs.Close()
+	base := "http://" + ln.Addr().String()
+
+	get := func(path string) (string, error) {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			return "", err
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != 200 {
+			return "", fmt.Errorf("GET %s: %d %s", path, resp.StatusCode, b)
+		}
+		return string(b), nil
+	}
+	post := func(path, body string) ([]byte, string, error) {
+		resp, err := http.Post(base+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			return nil, "", err
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != 200 {
+			return nil, "", fmt.Errorf("POST %s: %d %s", path, resp.StatusCode, b)
+		}
+		return b, resp.Header.Get("X-Cache"), nil
+	}
+
+	if body, err := get("/healthz"); err != nil {
+		return err
+	} else if !strings.Contains(body, `"status":"ok"`) {
+		return fmt.Errorf("healthz: %s", body)
+	}
+
+	allocBody, err := json.Marshal(serve.AllocateRequest{
+		Budget:     10_000,
+		Components: serve.DemoComponents(),
+	})
+	if err != nil {
+		return err
+	}
+	first, oc1, err := post("/v1/allocate", string(allocBody))
+	if err != nil {
+		return err
+	}
+	if oc1 != "miss" {
+		return fmt.Errorf("first allocation outcome %q, want miss", oc1)
+	}
+	second, oc2, err := post("/v1/allocate", string(allocBody))
+	if err != nil {
+		return err
+	}
+	if oc2 != "hit" {
+		return fmt.Errorf("second allocation outcome %q, want hit", oc2)
+	}
+	if !bytes.Equal(first, second) {
+		return errors.New("cached allocation not byte-identical")
+	}
+
+	simBody := `{
+	  "densitySteps": 2, "rotationPerStep": 0.002,
+	  "instances": [
+	    {"name": "row1", "kind": "mgcfd", "meshCells": 4096, "ranks": 4, "seed": 1},
+	    {"name": "row2", "kind": "mgcfd", "meshCells": 4096, "ranks": 4, "seed": 2}],
+	  "units": [
+	    {"name": "cu", "a": 0, "b": 1, "kind": "sliding", "points": 2000, "ranks": 2, "search": "tree"}]
+	}`
+	if body, _, err := post("/v1/simulate", simBody); err != nil {
+		return err
+	} else if !bytes.Contains(body, []byte(`"elapsed"`)) {
+		return fmt.Errorf("simulate response: %s", body)
+	}
+
+	metrics, err := get("/metrics")
+	if err != nil {
+		return err
+	}
+	for _, want := range []string{
+		"cpxserve_cache_hits_total 1",
+		`cpxserve_requests_total{endpoint="/v1/allocate",code="200"} 2`,
+	} {
+		if !strings.Contains(metrics, want) {
+			return fmt.Errorf("metrics missing %q", want)
+		}
+	}
+	return nil
+}

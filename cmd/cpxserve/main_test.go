@@ -1,0 +1,16 @@
+package main
+
+import (
+	"testing"
+
+	"cpx/internal/cluster"
+	"cpx/internal/serve"
+)
+
+// TestRunSmoke runs the same end-to-end pass as `cpxserve -smoke`,
+// against the small cluster model to keep the simulation cheap.
+func TestRunSmoke(t *testing.T) {
+	if err := runSmoke(serve.Options{Machine: cluster.SmallCluster()}); err != nil {
+		t.Fatal(err)
+	}
+}

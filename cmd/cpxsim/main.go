@@ -44,103 +44,26 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
 	"cpx/internal/cluster"
 	"cpx/internal/coupler"
 	"cpx/internal/fault"
 	"cpx/internal/mpi"
+	"cpx/internal/serve"
 	"cpx/internal/trace"
 )
 
-type jsonInstance struct {
-	Name      string `json:"name"`
-	Kind      string `json:"kind"` // "mgcfd" | "simpic"
-	MeshCells int64  `json:"meshCells"`
-	Ranks     int    `json:"ranks"`
-	Seed      int64  `json:"seed"`
-}
-
-type jsonUnit struct {
-	Name          string `json:"name"`
-	A             int    `json:"a"`
-	BIdx          int    `json:"b"`
-	Kind          string `json:"kind"` // "sliding" | "steady"
-	Points        int    `json:"points"`
-	Ranks         int    `json:"ranks"`
-	Search        string `json:"search"` // "brute" | "tree" | "prefetch"
-	ExchangeEvery int    `json:"exchangeEvery"`
-}
-
-type jsonConfig struct {
-	DensitySteps    int            `json:"densitySteps"`
-	RotationPerStep float64        `json:"rotationPerStep"`
-	Instances       []jsonInstance `json:"instances"`
-	Units           []jsonUnit     `json:"units"`
-}
-
-func (jc *jsonConfig) build() (*coupler.Simulation, error) {
-	sim := &coupler.Simulation{
-		DensitySteps:    jc.DensitySteps,
-		RotationPerStep: jc.RotationPerStep,
-		Scale:           coupler.ProductionScale(),
-	}
-	for _, ji := range jc.Instances {
-		kind := coupler.KindMGCFD
-		switch strings.ToLower(ji.Kind) {
-		case "mgcfd":
-		case "simpic":
-			kind = coupler.KindSIMPIC
-		default:
-			return nil, fmt.Errorf("instance %q: unknown kind %q", ji.Name, ji.Kind)
-		}
-		sim.Instances = append(sim.Instances, coupler.InstanceSpec{
-			Name: ji.Name, Kind: kind, MeshCells: ji.MeshCells, Ranks: ji.Ranks, Seed: ji.Seed,
-		})
-	}
-	for _, ju := range jc.Units {
-		kind := coupler.SlidingPlane
-		if strings.EqualFold(ju.Kind, "steady") {
-			kind = coupler.SteadyState
-		}
-		search := coupler.TreePrefetch
-		switch strings.ToLower(ju.Search) {
-		case "brute":
-			search = coupler.BruteForce
-		case "tree":
-			search = coupler.Tree
-		case "", "prefetch":
-		default:
-			return nil, fmt.Errorf("unit %q: unknown search %q", ju.Name, ju.Search)
-		}
-		sim.Units = append(sim.Units, coupler.UnitSpec{
-			Name: ju.Name, A: ju.A, B: ju.BIdx, Kind: kind, Points: ju.Points,
-			Ranks: ju.Ranks, Search: search, ExchangeEvery: ju.ExchangeEvery,
-		})
-	}
-	return sim, nil
-}
-
-// applySeed offsets every instance's setup seed by the -seed flag, so
-// the whole coupled run (initial meshes, particle distributions, and —
-// via fault.Spec.Seed — the failure schedule) replays bitwise
-// identically for the same value.
-func (jc *jsonConfig) applySeed(offset int64) {
-	for i := range jc.Instances {
-		jc.Instances[i].Seed += offset
-	}
-}
-
-func demoConfig() *jsonConfig {
-	return &jsonConfig{
+// demoConfig is the built-in three-component engine demo.
+func demoConfig() *serve.SimSpec {
+	return &serve.SimSpec{
 		DensitySteps:    4,
 		RotationPerStep: 0.002,
-		Instances: []jsonInstance{
+		Instances: []serve.InstanceSpec{
 			{Name: "compressor", Kind: "mgcfd", MeshCells: 100_000, Ranks: 8, Seed: 1},
 			{Name: "combustor", Kind: "simpic", MeshCells: 28_000_000, Ranks: 8, Seed: 2},
 			{Name: "turbine", Kind: "mgcfd", MeshCells: 100_000, Ranks: 8, Seed: 3},
 		},
-		Units: []jsonUnit{
+		Units: []serve.UnitSpec{
 			{Name: "hpc-comb", A: 0, BIdx: 1, Kind: "steady", Points: 50_000, Ranks: 2, Search: "prefetch", ExchangeEvery: 2},
 			{Name: "comb-hpt", A: 1, BIdx: 2, Kind: "steady", Points: 50_000, Ranks: 2, Search: "prefetch", ExchangeEvery: 2},
 		},
@@ -160,7 +83,7 @@ func main() {
 	ckpt := flag.Int("ckpt", 0, "coordinated-checkpoint interval in density steps (0 disables)")
 	flag.Parse()
 
-	var jc jsonConfig
+	var jc serve.SimSpec
 	switch {
 	case *demo:
 		jc = *demoConfig()
@@ -179,8 +102,8 @@ func main() {
 		os.Exit(2)
 	}
 
-	jc.applySeed(*seed)
-	sim, err := jc.build()
+	jc.ApplySeed(*seed)
+	sim, err := jc.Build()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "cpxsim: %v\n", err)
 		os.Exit(1)

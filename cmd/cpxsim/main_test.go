@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"cpx/internal/coupler"
+	"cpx/internal/serve"
 )
 
 func TestJSONConfigBuild(t *testing.T) {
@@ -20,11 +21,11 @@ func TestJSONConfigBuild(t *testing.T) {
 	     "ranks": 1, "search": "tree", "exchangeEvery": 2}
 	  ]
 	}`
-	var jc jsonConfig
+	var jc serve.SimSpec
 	if err := json.Unmarshal([]byte(raw), &jc); err != nil {
 		t.Fatal(err)
 	}
-	sim, err := jc.build()
+	sim, err := jc.Build()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,22 +47,22 @@ func TestJSONConfigBuild(t *testing.T) {
 }
 
 func TestJSONConfigRejectsUnknownKinds(t *testing.T) {
-	jc := jsonConfig{
+	jc := serve.SimSpec{
 		DensitySteps: 1,
-		Instances:    []jsonInstance{{Name: "x", Kind: "fortran", MeshCells: 10, Ranks: 1}},
+		Instances:    []serve.InstanceSpec{{Name: "x", Kind: "fortran", MeshCells: 10, Ranks: 1}},
 	}
-	if _, err := jc.build(); err == nil {
+	if _, err := jc.Build(); err == nil {
 		t.Error("unknown instance kind accepted")
 	}
-	jc2 := jsonConfig{
+	jc2 := serve.SimSpec{
 		DensitySteps: 1,
-		Instances: []jsonInstance{
+		Instances: []serve.InstanceSpec{
 			{Name: "a", Kind: "mgcfd", MeshCells: 10, Ranks: 1},
 			{Name: "b", Kind: "mgcfd", MeshCells: 10, Ranks: 1},
 		},
-		Units: []jsonUnit{{Name: "u", A: 0, BIdx: 1, Kind: "sliding", Points: 5, Ranks: 1, Search: "quantum"}},
+		Units: []serve.UnitSpec{{Name: "u", A: 0, BIdx: 1, Kind: "sliding", Points: 5, Ranks: 1, Search: "quantum"}},
 	}
-	if _, err := jc2.build(); err == nil {
+	if _, err := jc2.Build(); err == nil {
 		t.Error("unknown search accepted")
 	}
 }
@@ -72,14 +73,14 @@ func TestApplySeedOffsetsInstanceSeeds(t *testing.T) {
 	for i, ji := range jc.Instances {
 		base[i] = ji.Seed
 	}
-	jc.applySeed(41)
+	jc.ApplySeed(41)
 	for i, ji := range jc.Instances {
 		if ji.Seed != base[i]+41 {
 			t.Errorf("instance %d seed = %d, want %d", i, ji.Seed, base[i]+41)
 		}
 	}
 	jc2 := demoConfig()
-	jc2.applySeed(0)
+	jc2.ApplySeed(0)
 	for i, ji := range jc2.Instances {
 		if ji.Seed != base[i] {
 			t.Errorf("zero offset changed instance %d seed to %d", i, ji.Seed)
@@ -88,7 +89,7 @@ func TestApplySeedOffsetsInstanceSeeds(t *testing.T) {
 }
 
 func TestDemoConfigValid(t *testing.T) {
-	sim, err := demoConfig().build()
+	sim, err := demoConfig().Build()
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -24,7 +24,7 @@ func ExampleFitCurve() {
 	fmt.Printf("speedup at 2048 cores: %.1fx\n", curve.Speedup(2048))
 	// Output:
 	// PE at 1024 cores: 77%
-	// speedup at 2048 cores: 9.2x
+	// speedup at 2048 cores: 9.1x
 }
 
 // Distributing a core budget across coupled components with the greedy

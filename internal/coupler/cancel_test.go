@@ -1,0 +1,78 @@
+package coupler
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// bigSim is large enough that it cannot finish within the test's
+// cancellation deadline, so the deadline reliably lands mid-run.
+func bigSim() *Simulation {
+	s := twoRowSim(Tree)
+	s.Instances[0].MeshCells = 262144
+	s.Instances[1].MeshCells = 262144
+	s.DensitySteps = 50
+	return s
+}
+
+// TestRunContextDeadlineUnwindsRanks: a timed-out coupled run must
+// abort every rank goroutine (no leak) and surface the context error.
+func TestRunContextDeadlineUnwindsRanks(t *testing.T) {
+	base := runtime.NumGoroutine()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	_, err := bigSim().RunContext(ctx, runCfg())
+	if err == nil {
+		t.Fatal("run completed despite the 10ms deadline")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > base {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d now, %d before the run", runtime.NumGoroutine(), base)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestRunContextCompletesAndMatchesRun: with no cancellation the
+// context path must be invisible — same report as plain Run, bit for
+// bit, because the watcher only observes and the virtual-time run is
+// deterministic.
+func TestRunContextCompletesAndMatchesRun(t *testing.T) {
+	want, err := twoRowSim(Tree).Run(runCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := twoRowSim(Tree).RunContext(context.Background(), runCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Elapsed != want.Elapsed {
+		t.Fatalf("RunContext elapsed %v, Run elapsed %v (not identical)", got.Elapsed, want.Elapsed)
+	}
+	for i := range want.InstanceTime {
+		if got.InstanceTime[i] != want.InstanceTime[i] {
+			t.Fatalf("instance %d time %v vs %v", i, got.InstanceTime[i], want.InstanceTime[i])
+		}
+	}
+}
+
+// TestRunContextPreCancelled: an already-cancelled context must fail
+// fast with context.Canceled rather than run the whole simulation.
+func TestRunContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := twoRowSim(Tree).RunContext(ctx, runCfg())
+	if err == nil {
+		t.Fatal("pre-cancelled context did not fail the run")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

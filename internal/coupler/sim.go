@@ -1,6 +1,8 @@
 package coupler
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 
@@ -338,6 +340,23 @@ func (rep *Report) ScaledElapsed(fullSteps int) float64 {
 // Run executes the coupled simulation and reports per-component times.
 func (sim *Simulation) Run(cfg mpi.Config) (*Report, error) {
 	return sim.run(cfg, nil)
+}
+
+// RunContext is Run with a context: when ctx is cancelled (deadline or
+// explicit), the virtual-time runtime aborts, every rank goroutine
+// unwinds through the mpi abort fan-out, and the error wraps ctx.Err()
+// (so errors.Is(err, context.DeadlineExceeded) works as callers
+// expect). This is the entry point the serving layer uses to give
+// simulation jobs real per-request deadlines.
+func (sim *Simulation) RunContext(ctx context.Context, cfg mpi.Config) (*Report, error) {
+	cfg.Cancel = ctx.Done()
+	rep, err := sim.run(cfg, nil)
+	if errors.Is(err, mpi.ErrCanceled) {
+		if cerr := ctx.Err(); cerr != nil {
+			return rep, fmt.Errorf("coupler: run canceled: %w", cerr)
+		}
+	}
+	return rep, err
 }
 
 // run is the common driver behind Run and RunResilient's attempts. On a

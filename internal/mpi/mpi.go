@@ -887,7 +887,19 @@ type Config struct {
 	// (FastCollectives is ignored) so failures propagate through
 	// collectives. The plan must not be mutated during the run.
 	Faults *fault.Plan
+	// Cancel, when non-nil, aborts the run as soon as the channel is
+	// closed: the abort fan-out wakes every blocked rank, all rank
+	// goroutines unwind, and Run returns ErrCanceled (with partial
+	// Stats, like any other aborted run). This is how the serving
+	// layer plumbs an HTTP request context into a simulation — pass
+	// ctx.Done(). Cancellation is a host-side race against completion
+	// by design; a run that finishes first returns normally.
+	Cancel <-chan struct{}
 }
+
+// ErrCanceled reports that a run was aborted through Config.Cancel
+// before completing. Callers match it with errors.Is.
+var ErrCanceled = errors.New("mpi: run canceled")
 
 // Run executes fn on `size` simulated ranks and returns timing statistics.
 // Any rank returning an error or panicking aborts the whole world; the
@@ -958,6 +970,24 @@ func Run(size int, cfg Config, fn func(*Comm) error) (*Stats, error) {
 			w.fail(fmt.Errorf("mpi: watchdog: run of %d ranks exceeded %v host time (deadlock?)", size, watchdog))
 		})
 		defer t.Stop()
+	}
+
+	if cfg.Cancel != nil {
+		// The watcher reuses the watchdog's abort path: fail() marks the
+		// world aborted and interrupts every mailbox and station, so
+		// blocked ranks panic with errAborted and unwind. fail() is a
+		// no-op once the run has finished, so a cancellation that loses
+		// the race against completion changes nothing. The stop channel
+		// (closed via defer, after wg.Wait) reaps the watcher itself.
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			select {
+			case <-cfg.Cancel:
+				w.fail(ErrCanceled)
+			case <-stop:
+			}
+		}()
 	}
 
 	errs := make([]error, size)

@@ -86,9 +86,17 @@ func FitCurve(samples []Sample) (*Curve, error) {
 		return e
 	}
 	bestP50, bestK, bestE := maxCores, 1.0, math.Inf(1)
-	// Coarse grid: P50 log-spaced from base to 100x the largest sample.
+	// Coarse grid: P50 log-spaced from well below the base core count to
+	// 100x the largest sample. The grid must extend below the base: a
+	// component already past its 50%-efficiency knee at the smallest
+	// measured core count has P50 < BaseCores, and coordinate descent
+	// alone cannot reliably walk that far down from a floor at the base.
+	gridLo := float64(base.Cores) / 64
+	if gridLo < 0.5 {
+		gridLo = 0.5
+	}
 	for _, k := range []float64{0.5, 0.8, 1.0, 1.3, 1.6, 2.0, 2.5, 3.0} {
-		p50 := float64(base.Cores)
+		p50 := gridLo
 		for p50 <= maxCores*100 {
 			if e := cost(p50, k); e < bestE {
 				bestE, bestP50, bestK = e, p50, k
@@ -186,7 +194,7 @@ func FitAmdahl(samples []Sample) (*AmdahlCurve, error) {
 
 // Component is one entry of the allocation problem: a solver instance or
 // a coupling unit, with its fitted curve and its size/iteration scaling
-// relativeive to the curve's base case.
+// relative to the curve's base case.
 type Component struct {
 	Name      string
 	Curve     *Curve
@@ -232,10 +240,92 @@ type Allocation struct {
 	Unallocated int
 }
 
+// slowHeap is a max-heap of (run-time, component index) entries, ties
+// broken towards the smaller index — exactly the order a linear
+// first-max scan over the times slice produces, so the heap-based
+// Allocate picks the same component as the naive loop on every
+// iteration. Only the top's time ever changes between fixes, so a
+// single sift-down restores the invariant.
+type slowHeap struct {
+	ents []heapEnt
+}
+
+type heapEnt struct {
+	t   float64 // current modelled run-time
+	idx int     // component index
+}
+
+func entBefore(a, b heapEnt) bool {
+	if a.t != b.t {
+		return a.t > b.t
+	}
+	return a.idx < b.idx
+}
+
+func (h *slowHeap) push(e heapEnt) {
+	h.ents = append(h.ents, e)
+	c := len(h.ents) - 1
+	for c > 0 {
+		p := (c - 1) / 2
+		if !entBefore(h.ents[c], h.ents[p]) {
+			break
+		}
+		h.ents[c], h.ents[p] = h.ents[p], h.ents[c]
+		c = p
+	}
+}
+
+// fix restores heap order after the top's time was set to t.
+func (h *slowHeap) fix(t float64) {
+	ents := h.ents
+	n := len(ents)
+	e := heapEnt{t, ents[0].idx}
+	p := 0
+	for {
+		c := 2*p + 1
+		if c >= n {
+			break
+		}
+		if r := c + 1; r < n && entBefore(ents[r], ents[c]) {
+			c = r
+		}
+		if !entBefore(ents[c], e) {
+			break
+		}
+		ents[p] = ents[c]
+		p = c
+	}
+	ents[p] = e
+}
+
+// evalConst holds the loop-invariant terms of one component's run-time
+// model, factored so an evaluation costs a single math.Pow.
+type evalConst struct {
+	p50, k, gbase, num, sr, ir float64
+}
+
+// eval returns the component's modelled run-time at c cores —
+// bitwise identical to Component.Time(c) (same operations, same
+// operand bits, same order).
+func (e *evalConst) eval(c int) float64 {
+	p := float64(c)
+	pe := gval(p, e.p50, e.k) / e.gbase
+	return e.num / (p * pe) * e.sr * e.ir
+}
+
 // Allocate runs Algorithm 1: starting every component at its minimum
 // allocation, repeatedly give one core to the slowest instance or the
 // slowest coupling unit — whichever gains more run-time from it — until
 // the budget is spent or no positive gain remains.
+//
+// The loop grants one core at a time but never rescans the component
+// list: two max-heaps (instances, CUs) track the slowest member of each
+// class, and the run-time a component would have with one more core is
+// cached per component and invalidated only for the picked one. One
+// granted core therefore costs one curve evaluation and a sift-down,
+// instead of the two full scans and four evaluations of the naive loop
+// (see TestAllocateMatchesReference for the equivalence proof and
+// BenchmarkAllocate for the measured gap).
 func Allocate(components []Component, budget int) (*Allocation, error) {
 	if len(components) == 0 {
 		return nil, fmt.Errorf("perfmodel: no components")
@@ -250,40 +340,135 @@ func Allocate(components []Component, budget int) (*Allocation, error) {
 		return nil, fmt.Errorf("perfmodel: minimum allocations (%d) exceed budget (%d)", spent, budget)
 	}
 	times := make([]float64, len(components))
-	recompute := func(i int) { times[i] = components[i].Time(cores[i]) }
+	// Per-component evaluation constants: gval at the base core count,
+	// the BaseTime*BaseCores numerator and the defaulted ratios are fixed
+	// for the whole loop, so each Time evaluation costs one math.Pow
+	// instead of two. The factored expression performs the identical
+	// floating-point operations on identical operands in the same order
+	// as Component.Time, so the results are bitwise equal — which the
+	// differential test against the naive loop asserts.
+	consts := make([]evalConst, len(components))
 	for i := range components {
-		recompute(i)
-	}
-	argmax := func(cu bool) int {
-		best, bestT := -1, -1.0
-		for i := range components {
-			if components[i].IsCU == cu && times[i] > bestT {
-				best, bestT = i, times[i]
-			}
+		cv := components[i].Curve
+		e := evalConst{
+			p50: cv.P50, k: cv.K,
+			gbase: gval(float64(cv.BaseCores), cv.P50, cv.K),
+			num:   cv.BaseTime * float64(cv.BaseCores),
+			sr:    components[i].SizeRatio, ir: components[i].IterRatio,
 		}
-		return best
+		if e.sr == 0 {
+			e.sr = 1
+		}
+		if e.ir == 0 {
+			e.ir = 1
+		}
+		consts[i] = e
+	}
+	// Per-component mutable loop state, one cache line hit per access:
+	// the granted core count and the cached one-more-core run-time (NaN =
+	// stale; real run-times are never NaN).
+	type compState struct {
+		next  float64
+		cores int
+	}
+	st := make([]compState, len(components))
+	apps := &slowHeap{}
+	cus := &slowHeap{}
+	for i := range components {
+		times[i] = consts[i].eval(cores[i])
+		st[i] = compState{next: math.NaN(), cores: cores[i]}
+		if components[i].IsCU {
+			cus.push(heapEnt{times[i], i})
+		} else {
+			apps.push(heapEnt{times[i], i})
+		}
+	}
+	// topGain returns the marginal gain of the class's slowest component,
+	// filling its stale one-more-core cache if needed.
+	topGain := func(h *slowHeap) float64 {
+		if len(h.ents) == 0 {
+			return math.Inf(-1)
+		}
+		e := h.ents[0]
+		s := &st[e.idx]
+		if s.next != s.next { // NaN: recompute the one-more-core time
+			s.next = consts[e.idx].eval(s.cores + 1)
+		}
+		return e.t - s.next
 	}
 	remaining := budget - spent
+	// Granting a core changes one heap only, so the other class's top
+	// gain carries over between iterations as a cached float.
+	gainApp, gainCU := topGain(apps), topGain(cus)
+	// The class comparison must stay `gainCU > gainApp` (not >=): ties —
+	// and NaN gains, which compare false — go to the instance class,
+	// exactly as the naive scan decides them. An empty class carries
+	// gain -Inf, so `g <= 0` doubles as the emptiness check and no heap
+	// is indexed while empty. The grant body is duplicated per class so
+	// each side touches its heap through a constant pointer.
 	for ; remaining > 0; remaining-- {
-		appMax := argmax(false)
-		cuMax := argmax(true)
-		gain := func(i int) float64 {
-			if i < 0 {
-				return math.Inf(-1)
+		if gainCU > gainApp {
+			if gainCU <= 0 {
+				break // nothing left to improve: idle the remaining cores
 			}
-			return times[i] - components[i].Time(cores[i]+1)
+			pick := cus.ents[0].idx
+			s := &st[pick]
+			s.cores++
+			// eval is pure, so the cached eval(cores+1) IS the new
+			// current time — no re-evaluation, bit for bit. The heap
+			// entry carries it; times[] is rebuilt after the loop.
+			t := s.next
+			s.next = math.NaN()
+			cus.fix(t)
+			// Refresh this class's gain inline: the heap cannot have
+			// emptied (fix keeps its size) so the topGain guard is dead.
+			e := cus.ents[0]
+			ts := &st[e.idx]
+			if ts.next != ts.next {
+				// eval, spelled out so it inlines (same ops, same order).
+				ec := &consts[e.idx]
+				p := float64(ts.cores + 1)
+				pe := gval(p, ec.p50, ec.k) / ec.gbase
+				ts.next = ec.num / (p * pe) * ec.sr * ec.ir
+			}
+			gainCU = e.t - ts.next
+		} else {
+			if gainApp <= 0 {
+				break
+			}
+			pick := apps.ents[0].idx
+			s := &st[pick]
+			s.cores++
+			t := s.next
+			s.next = math.NaN()
+			apps.fix(t)
+			e := apps.ents[0]
+			ts := &st[e.idx]
+			if ts.next != ts.next {
+				ec := &consts[e.idx]
+				p := float64(ts.cores + 1)
+				pe := gval(p, ec.p50, ec.k) / ec.gbase
+				ts.next = ec.num / (p * pe) * ec.sr * ec.ir
+			}
+			gainApp = e.t - ts.next
 		}
-		pick := appMax
-		if gain(cuMax) > gain(appMax) {
-			pick = cuMax
-		}
-		if pick < 0 || gain(pick) <= 0 {
-			break // nothing left to improve: idle the remaining cores
-		}
-		cores[pick]++
-		recompute(pick)
 	}
-	out := &Allocation{Components: components, Cores: cores, Times: times, Unallocated: remaining}
+	for i := range st {
+		cores[i] = st[i].cores
+	}
+	// The heap entries hold each component's final run-time (every grant
+	// updated the entry in place); fold them back into times[].
+	for _, e := range apps.ents {
+		times[e.idx] = e.t
+	}
+	for _, e := range cus.ents {
+		times[e.idx] = e.t
+	}
+	// Copy the caller's slice: the Allocation (and any cache retaining
+	// it) must not see later mutations of the input, nor vice versa.
+	held := make([]Component, len(components))
+	copy(held, components)
+	out := &Allocation{Components: held, Cores: cores, Times: times, Unallocated: remaining}
 	for i := range components {
 		if components[i].IsCU {
 			out.MaxCU = math.Max(out.MaxCU, times[i])

@@ -1,0 +1,79 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"cpx/internal/cluster"
+)
+
+// benchAllocateBody builds a paper-scale allocation request (20
+// components, 40k-core budget) with a salt folded into a component
+// name so distinct salts address distinct cache entries.
+func benchAllocateBody(salt int) string {
+	req := AllocateRequest{Budget: 40_000}
+	for i := 0; i < 20; i++ {
+		name := fmt.Sprintf("comp%02d", i)
+		if i == 0 {
+			name = fmt.Sprintf("comp%02d-s%d", i, salt)
+		}
+		req.Components = append(req.Components, ComponentSpec{
+			Name:     name,
+			IsCU:     i%4 == 3,
+			MinRanks: 50 + 10*i,
+			Curve: &CurveSpec{
+				BaseCores: 100,
+				BaseTime:  30 + float64(i)*17,
+				P50:       1500 + float64(i)*400,
+				K:         1.1 + 0.03*float64(i),
+			},
+		})
+	}
+	b, err := json.Marshal(req)
+	if err != nil {
+		panic(err)
+	}
+	return string(b)
+}
+
+func benchPost(b *testing.B, h http.Handler, body string) {
+	b.Helper()
+	r := httptest.NewRequest("POST", "/v1/allocate", strings.NewReader(body))
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, r)
+	if w.Code != 200 {
+		b.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+}
+
+// BenchmarkServeAllocateUncached measures the full request path with a
+// cold cache every iteration: decode, canonicalise, hash, run Alg. 1
+// at paper scale, encode.
+func BenchmarkServeAllocateUncached(b *testing.B) {
+	s := New(Options{Machine: cluster.SmallCluster()})
+	defer s.Close()
+	h := s.Handler()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchPost(b, h, benchAllocateBody(i))
+	}
+}
+
+// BenchmarkServeAllocateCached measures the identical request served
+// from the content-addressed cache: decode, canonicalise, hash, copy
+// the stored artifact.
+func BenchmarkServeAllocateCached(b *testing.B) {
+	s := New(Options{Machine: cluster.SmallCluster()})
+	defer s.Close()
+	h := s.Handler()
+	body := benchAllocateBody(0)
+	benchPost(b, h, body) // populate
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchPost(b, h, body)
+	}
+}

@@ -1,0 +1,127 @@
+package serve
+
+import (
+	"context"
+	"sync"
+)
+
+// CacheOutcome says how a request was satisfied, for the X-Cache
+// header and the metrics.
+type CacheOutcome string
+
+const (
+	// OutcomeMiss: this request started the computation.
+	OutcomeMiss CacheOutcome = "miss"
+	// OutcomeHit: served from a completed artifact.
+	OutcomeHit CacheOutcome = "hit"
+	// OutcomeJoin: coalesced onto an identical in-flight computation.
+	OutcomeJoin CacheOutcome = "join"
+)
+
+// job is one in-flight computation with singleflight semantics plus
+// reference counting: every request waiting on it holds a ref, and
+// when the last waiter abandons it (deadline, disconnect) the job's
+// context is cancelled so the simulation's rank goroutines unwind
+// instead of computing for nobody.
+type job struct {
+	done   chan struct{}
+	cancel context.CancelFunc
+	refs   int
+	body   []byte
+	err    error
+}
+
+// Cache is the content-addressed result store. Keys are cacheKey
+// digests of canonicalised request specs; values are the exact
+// response bytes first computed for that key. Determinism of the
+// underlying model and simulator is what makes this sound: recomputing
+// a key would produce the identical bytes, so returning the stored
+// artifact is indistinguishable from re-running the job.
+//
+// Completed artifacts are retained for the process lifetime — the
+// mini-app's scenario space is small. A production deployment would
+// bound this with an eviction policy; the content addressing would be
+// unchanged.
+type Cache struct {
+	mu   sync.Mutex
+	done map[string][]byte
+	live map[string]*job
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache {
+	return &Cache{done: make(map[string][]byte), live: make(map[string]*job)}
+}
+
+// Do returns the artifact for key. A completed artifact is returned
+// immediately; an in-flight identical computation is joined; otherwise
+// compute is scheduled through submit (the worker pool), and
+// ErrQueueFull is returned when the pool has no room. The computation
+// runs under its own context, cancelled only when every waiter has
+// gone — an individual caller's ctx expiring detaches that caller
+// without killing the job for the rest. Errors are never cached: a
+// failed or cancelled job is forgotten so the next identical request
+// retries.
+func (c *Cache) Do(ctx context.Context, key string, submit func(func()) bool, compute func(context.Context) ([]byte, error)) ([]byte, CacheOutcome, error) {
+	c.mu.Lock()
+	if body, ok := c.done[key]; ok {
+		c.mu.Unlock()
+		return body, OutcomeHit, nil
+	}
+	j, joined := c.live[key]
+	if joined {
+		j.refs++
+		c.mu.Unlock()
+	} else {
+		jobCtx, cancel := context.WithCancel(context.Background())
+		j = &job{done: make(chan struct{}), cancel: cancel, refs: 1}
+		run := func() {
+			body, err := compute(jobCtx)
+			c.mu.Lock()
+			j.body, j.err = body, err
+			if err == nil {
+				c.done[key] = body
+			}
+			delete(c.live, key)
+			c.mu.Unlock()
+			close(j.done)
+			cancel()
+		}
+		// Registration and submission are atomic under mu: if the pool
+		// rejects the job nobody can have joined it, and if it is
+		// accepted no concurrent identical request can start a second
+		// computation. (run re-takes mu only after compute, so a
+		// lightning-fast worker just blocks until we release it.)
+		if !submit(run) {
+			c.mu.Unlock()
+			cancel()
+			return nil, OutcomeMiss, ErrQueueFull
+		}
+		c.live[key] = j
+		c.mu.Unlock()
+	}
+	outcome := OutcomeMiss
+	if joined {
+		outcome = OutcomeJoin
+	}
+	select {
+	case <-j.done:
+		return j.body, outcome, j.err
+	case <-ctx.Done():
+		c.mu.Lock()
+		j.refs--
+		last := j.refs == 0
+		c.mu.Unlock()
+		if last {
+			j.cancel()
+		}
+		return nil, outcome, ctx.Err()
+	}
+}
+
+// Len reports the number of completed artifacts retained.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.done)
+}

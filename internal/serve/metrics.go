@@ -1,0 +1,154 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"cpx/internal/order"
+)
+
+// latencyBuckets are the histogram upper bounds in seconds, spanning a
+// cached lookup (~µs) to a long simulation job.
+var latencyBuckets = [numBuckets]float64{
+	0.0001, 0.0005, 0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10, 60,
+}
+
+const numBuckets = 10
+
+// histogram is a fixed-bucket latency histogram (cumulative counts at
+// exposition time, per Prometheus convention).
+type histogram struct {
+	counts [numBuckets + 1]uint64 // last: +Inf overflow
+	sum    float64
+	total  uint64
+}
+
+func (h *histogram) observe(seconds float64) {
+	i := sort.SearchFloat64s(latencyBuckets[:], seconds)
+	h.counts[i]++
+	h.sum += seconds
+	h.total++
+}
+
+// reqKey labels one requests_total series.
+type reqKey struct {
+	endpoint string
+	code     int
+}
+
+// Metrics aggregates the service counters and renders them in the
+// Prometheus text exposition format — hand-rolled, because the module
+// is dependency-free by policy. All output is deterministically
+// ordered (sorted label sets) so scrapes are diffable.
+type Metrics struct {
+	mu        sync.Mutex
+	requests  map[reqKey]uint64
+	latencies map[string]*histogram
+	hits      uint64
+	misses    uint64
+	joins     uint64
+	canceled  uint64
+	rejected  uint64
+
+	queueDepth    func() int
+	queueCapacity func() int
+	cacheLen      func() int
+}
+
+// NewMetrics returns a Metrics wired to the given gauges.
+func NewMetrics(queueDepth, queueCapacity, cacheLen func() int) *Metrics {
+	return &Metrics{
+		requests:      make(map[reqKey]uint64),
+		latencies:     make(map[string]*histogram),
+		queueDepth:    queueDepth,
+		queueCapacity: queueCapacity,
+		cacheLen:      cacheLen,
+	}
+}
+
+// Observe records one finished request.
+func (m *Metrics) Observe(endpoint string, code int, seconds float64, outcome CacheOutcome) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.requests[reqKey{endpoint, code}]++
+	h := m.latencies[endpoint]
+	if h == nil {
+		h = &histogram{}
+		m.latencies[endpoint] = h
+	}
+	h.observe(seconds)
+	switch outcome {
+	case OutcomeHit:
+		m.hits++
+	case OutcomeMiss:
+		m.misses++
+	case OutcomeJoin:
+		m.joins++
+	}
+	switch code {
+	case 429:
+		m.rejected++
+	case 499, 504:
+		m.canceled++
+	}
+}
+
+// WritePrometheus renders the Prometheus text format.
+func (m *Metrics) WritePrometheus(w io.Writer) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	fmt.Fprintln(w, "# HELP cpxserve_requests_total Finished HTTP requests by endpoint and status code.")
+	fmt.Fprintln(w, "# TYPE cpxserve_requests_total counter")
+	keys := make([]reqKey, 0, len(m.requests))
+	for k := range m.requests {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].endpoint != keys[j].endpoint {
+			return keys[i].endpoint < keys[j].endpoint
+		}
+		return keys[i].code < keys[j].code
+	})
+	for _, k := range keys {
+		fmt.Fprintf(w, "cpxserve_requests_total{endpoint=%q,code=\"%d\"} %d\n", k.endpoint, k.code, m.requests[k])
+	}
+	fmt.Fprintln(w, "# HELP cpxserve_request_duration_seconds Request latency by endpoint.")
+	fmt.Fprintln(w, "# TYPE cpxserve_request_duration_seconds histogram")
+	for _, endpoint := range order.SortedKeys(m.latencies) {
+		h := m.latencies[endpoint]
+		cum := uint64(0)
+		for i, ub := range latencyBuckets {
+			cum += h.counts[i]
+			fmt.Fprintf(w, "cpxserve_request_duration_seconds_bucket{endpoint=%q,le=\"%g\"} %d\n", endpoint, ub, cum)
+		}
+		fmt.Fprintf(w, "cpxserve_request_duration_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", endpoint, h.total)
+		fmt.Fprintf(w, "cpxserve_request_duration_seconds_sum{endpoint=%q} %g\n", endpoint, h.sum)
+		fmt.Fprintf(w, "cpxserve_request_duration_seconds_count{endpoint=%q} %d\n", endpoint, h.total)
+	}
+	fmt.Fprintln(w, "# HELP cpxserve_cache_hits_total Requests served from a completed artifact.")
+	fmt.Fprintln(w, "# TYPE cpxserve_cache_hits_total counter")
+	fmt.Fprintf(w, "cpxserve_cache_hits_total %d\n", m.hits)
+	fmt.Fprintln(w, "# HELP cpxserve_cache_misses_total Requests that started a new computation.")
+	fmt.Fprintln(w, "# TYPE cpxserve_cache_misses_total counter")
+	fmt.Fprintf(w, "cpxserve_cache_misses_total %d\n", m.misses)
+	fmt.Fprintln(w, "# HELP cpxserve_cache_joins_total Requests coalesced onto an identical in-flight job.")
+	fmt.Fprintln(w, "# TYPE cpxserve_cache_joins_total counter")
+	fmt.Fprintf(w, "cpxserve_cache_joins_total %d\n", m.joins)
+	fmt.Fprintln(w, "# HELP cpxserve_rejected_total Requests rejected with 429 (queue full).")
+	fmt.Fprintln(w, "# TYPE cpxserve_rejected_total counter")
+	fmt.Fprintf(w, "cpxserve_rejected_total %d\n", m.rejected)
+	fmt.Fprintln(w, "# HELP cpxserve_canceled_total Requests that timed out or were abandoned by the client.")
+	fmt.Fprintln(w, "# TYPE cpxserve_canceled_total counter")
+	fmt.Fprintf(w, "cpxserve_canceled_total %d\n", m.canceled)
+	fmt.Fprintln(w, "# HELP cpxserve_queue_depth Jobs admitted but not yet running.")
+	fmt.Fprintln(w, "# TYPE cpxserve_queue_depth gauge")
+	fmt.Fprintf(w, "cpxserve_queue_depth %d\n", m.queueDepth())
+	fmt.Fprintln(w, "# HELP cpxserve_queue_capacity Queue bound.")
+	fmt.Fprintln(w, "# TYPE cpxserve_queue_capacity gauge")
+	fmt.Fprintf(w, "cpxserve_queue_capacity %d\n", m.queueCapacity())
+	fmt.Fprintln(w, "# HELP cpxserve_cache_entries Completed artifacts retained.")
+	fmt.Fprintln(w, "# TYPE cpxserve_cache_entries gauge")
+	fmt.Fprintf(w, "cpxserve_cache_entries %d\n", m.cacheLen())
+}

@@ -1,0 +1,79 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrQueueFull reports that the worker pool's queue had no room for
+// another job. The HTTP layer maps it to 429 Too Many Requests with a
+// Retry-After hint — backpressure, not unbounded buffering.
+var ErrQueueFull = errors.New("serve: job queue full")
+
+// Pool is a bounded worker pool with an explicit submission queue.
+// Workers is the concurrency ceiling (a coupled simulation already
+// fans out into many rank goroutines, so a handful of workers
+// saturates the host); the queue bounds admitted-but-unstarted work.
+type Pool struct {
+	queue chan func()
+	wg    sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewPool starts workers goroutines draining a queueLen-deep queue.
+func NewPool(workers, queueLen int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	if queueLen < 0 {
+		queueLen = 0
+	}
+	p := &Pool{queue: make(chan func(), queueLen)}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer p.wg.Done()
+			for fn := range p.queue {
+				fn()
+			}
+		}()
+	}
+	return p
+}
+
+// TrySubmit enqueues fn if the queue has room; it never blocks.
+func (p *Pool) TrySubmit(fn func()) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return false
+	}
+	select {
+	case p.queue <- fn:
+		return true
+	default:
+		return false
+	}
+}
+
+// Depth reports the jobs admitted but not yet picked up by a worker.
+func (p *Pool) Depth() int { return len(p.queue) }
+
+// Capacity reports the queue bound.
+func (p *Pool) Capacity() int { return cap(p.queue) }
+
+// Close rejects new submissions, then waits for queued and running
+// jobs to finish — the draining half of graceful shutdown.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.mu.Unlock()
+	close(p.queue)
+	p.wg.Wait()
+}

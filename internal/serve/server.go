@@ -1,0 +1,358 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"time"
+
+	"cpx/internal/cluster"
+	"cpx/internal/mpi"
+	"cpx/internal/perfmodel"
+)
+
+// maxBodyBytes bounds request bodies; a full-engine scenario is a few
+// kilobytes, so 8 MiB is generous.
+const maxBodyBytes = 8 << 20
+
+// statusClientClosed is nginx's convention for "client closed request"
+// — the peer disconnected before the job finished. Recorded in the
+// metrics; the response itself goes nowhere.
+const statusClientClosed = 499
+
+// Options configures a Server. Zero values select the defaults.
+type Options struct {
+	// Machine is the cluster model simulations run against; defaults to
+	// cluster.ARCHER2(). Fixed for the server's lifetime — the result
+	// cache is per-process, so the machine is implicit in every key.
+	Machine *cluster.Machine
+	// Workers bounds concurrently running jobs (default 4; a coupled
+	// simulation already fans out into one goroutine per rank).
+	Workers int
+	// QueueLen bounds admitted-but-unstarted jobs (default 16). A full
+	// queue answers 429 + Retry-After rather than buffering unboundedly.
+	QueueLen int
+	// DefaultTimeout is the per-request deadline when the client sends
+	// none (default 60s); MaxTimeout caps the client's ?timeout=
+	// override (default 10m).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+}
+
+func (o *Options) fill() {
+	if o.Machine == nil {
+		o.Machine = cluster.ARCHER2()
+	}
+	if o.Workers <= 0 {
+		o.Workers = 4
+	}
+	if o.QueueLen <= 0 {
+		o.QueueLen = 16
+	}
+	if o.DefaultTimeout <= 0 {
+		o.DefaultTimeout = 60 * time.Second
+	}
+	if o.MaxTimeout <= 0 {
+		o.MaxTimeout = 10 * time.Minute
+	}
+}
+
+// Server is the cpxserve request layer: a mux over the model and
+// simulation endpoints, backed by the worker pool and the
+// content-addressed cache. Create with New, expose via Handler, and
+// Close after the HTTP listener has shut down to drain the pool.
+type Server struct {
+	opts    Options
+	pool    *Pool
+	cache   *Cache
+	metrics *Metrics
+	mux     *http.ServeMux
+}
+
+// New builds a Server with its pool, cache, metrics and routes.
+func New(opts Options) *Server {
+	opts.fill()
+	s := &Server{opts: opts, cache: NewCache()}
+	s.pool = NewPool(opts.Workers, opts.QueueLen)
+	s.metrics = NewMetrics(s.pool.Depth, s.pool.Capacity, s.cache.Len)
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("POST /v1/fit", s.post("/v1/fit", s.runFit))
+	s.mux.HandleFunc("POST /v1/allocate", s.post("/v1/allocate", s.runAllocate))
+	s.mux.HandleFunc("POST /v1/speedup", s.post("/v1/speedup", s.runSpeedup))
+	s.mux.HandleFunc("POST /v1/simulate", s.post("/v1/simulate", s.runSimulate))
+	return s
+}
+
+// Handler returns the HTTP handler tree.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close drains the worker pool: queued and running jobs finish, new
+// submissions are rejected. Call after http.Server.Shutdown has
+// stopped accepting requests.
+func (s *Server) Close() { s.pool.Close() }
+
+// Metrics exposes the counters (for tests and the smoke runner).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, "{\"status\":\"ok\",\"queueDepth\":%d,\"cacheEntries\":%d}\n", s.pool.Depth(), s.cache.Len())
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.metrics.WritePrometheus(w)
+}
+
+// badRequestError marks errors caused by the request content (bad
+// spec, unfittable samples, invalid wiring) → 400 instead of 500.
+type badRequestError struct{ err error }
+
+func (e *badRequestError) Error() string { return e.err.Error() }
+func (e *badRequestError) Unwrap() error { return e.err }
+
+func badRequest(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &badRequestError{err}
+}
+
+// endpointFunc decodes one endpoint's spec from the body and returns
+// the job to run for it. Decode errors surface before any pool or
+// cache interaction.
+type endpointFunc func(r *http.Request) (spec any, run func(ctx context.Context) (any, error), err error)
+
+// requestCtx derives the job-wait deadline: the client's ?timeout=
+// (clamped to MaxTimeout) or the server default, on top of the
+// request's own cancellation (disconnects propagate).
+func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFunc, error) {
+	d := s.opts.DefaultTimeout
+	if v := r.URL.Query().Get("timeout"); v != "" {
+		pd, err := time.ParseDuration(v)
+		if err != nil || pd <= 0 {
+			return nil, nil, fmt.Errorf("invalid timeout %q", v)
+		}
+		if pd > s.opts.MaxTimeout {
+			pd = s.opts.MaxTimeout
+		}
+		d = pd
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), d)
+	return ctx, cancel, nil
+}
+
+// post wraps an endpoint in the shared serving path: strict decode,
+// canonicalise, content-addressed cache with singleflight, bounded
+// pool with 429 backpressure, deadline mapping, and metrics.
+func (s *Server) post(endpoint string, ep endpointFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		//lint:allow determinism request latency metrics measure host time by definition; nothing feeds the virtual clock
+		start := time.Now()
+		code := http.StatusOK
+		outcome := CacheOutcome("")
+		defer func() {
+			//lint:allow determinism request latency metrics measure host time by definition; nothing feeds the virtual clock
+			s.metrics.Observe(endpoint, code, time.Since(start).Seconds(), outcome)
+		}()
+		fail := func(status int, err error) {
+			code = status
+			http.Error(w, err.Error(), status)
+		}
+
+		r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+		spec, run, err := ep(r)
+		if err != nil {
+			fail(http.StatusBadRequest, err)
+			return
+		}
+		canonical, err := canonicalize(spec)
+		if err != nil {
+			fail(http.StatusInternalServerError, err)
+			return
+		}
+		key := cacheKey(endpoint, canonical)
+		ctx, cancel, err := s.requestCtx(r)
+		if err != nil {
+			fail(http.StatusBadRequest, err)
+			return
+		}
+		defer cancel()
+
+		artifact, oc, err := s.cache.Do(ctx, key, s.pool.TrySubmit, func(jobCtx context.Context) ([]byte, error) {
+			out, rerr := run(jobCtx)
+			if rerr != nil {
+				return nil, rerr
+			}
+			return canonicalize(out)
+		})
+		outcome = oc
+		var br *badRequestError
+		switch {
+		case err == nil:
+			w.Header().Set("Content-Type", "application/json")
+			w.Header().Set("X-Cache", string(oc))
+			w.Write(artifact)
+		case errors.Is(err, ErrQueueFull):
+			w.Header().Set("Retry-After", "1")
+			fail(http.StatusTooManyRequests, errors.New("job queue full; retry later"))
+		case errors.Is(err, context.DeadlineExceeded):
+			fail(http.StatusGatewayTimeout, errors.New("request deadline exceeded; the job was cancelled"))
+		case errors.Is(err, context.Canceled):
+			fail(statusClientClosed, errors.New("client closed request"))
+		case errors.As(err, &br):
+			fail(http.StatusBadRequest, err)
+		default:
+			fail(http.StatusInternalServerError, err)
+		}
+	}
+}
+
+func (s *Server) runFit(r *http.Request) (any, func(context.Context) (any, error), error) {
+	var req FitRequest
+	if err := decodeStrict(r.Body, &req); err != nil {
+		return nil, nil, err
+	}
+	return &req, func(context.Context) (any, error) {
+		samples := make([]perfmodel.Sample, len(req.Samples))
+		for i, sp := range req.Samples {
+			samples[i] = perfmodel.Sample{Cores: sp.Cores, Runtime: sp.Runtime}
+		}
+		curve, err := perfmodel.FitCurve(samples)
+		if err != nil {
+			return nil, badRequest(err)
+		}
+		maxErr := 0.0
+		for _, sp := range samples {
+			if e := perfmodel.RelativeError(curve.Runtime(float64(sp.Cores)), sp.Runtime); e > maxErr {
+				maxErr = e
+			}
+		}
+		return &FitResponse{
+			Curve: CurveSpec{
+				BaseCores: curve.BaseCores, BaseTime: curve.BaseTime,
+				P50: curve.P50, K: curve.K,
+			},
+			MaxRelErr: maxErr,
+		}, nil
+	}, nil
+}
+
+// allocateSpecs builds and allocates, shared by /v1/allocate and both
+// halves of /v1/speedup.
+func allocateSpecs(specs []ComponentSpec, budget int) (*perfmodel.Allocation, error) {
+	if budget <= 0 {
+		return nil, badRequest(fmt.Errorf("budget must be positive, got %d", budget))
+	}
+	comps, err := BuildComponents(specs)
+	if err != nil {
+		return nil, badRequest(err)
+	}
+	alloc, err := perfmodel.Allocate(comps, budget)
+	if err != nil {
+		return nil, badRequest(err)
+	}
+	return alloc, nil
+}
+
+func allocationResponse(budget int, alloc *perfmodel.Allocation) *AllocateResponse {
+	resp := &AllocateResponse{
+		Budget:      budget,
+		Predicted:   alloc.Predicted,
+		MaxApp:      alloc.MaxApp,
+		MaxCU:       alloc.MaxCU,
+		Unallocated: alloc.Unallocated,
+	}
+	for i, cp := range alloc.Components {
+		resp.Components = append(resp.Components, AllocatedComponent{
+			Name: cp.Name, IsCU: cp.IsCU, Cores: alloc.Cores[i], Time: alloc.Times[i],
+		})
+	}
+	return resp
+}
+
+func (s *Server) runAllocate(r *http.Request) (any, func(context.Context) (any, error), error) {
+	var req AllocateRequest
+	if err := decodeStrict(r.Body, &req); err != nil {
+		return nil, nil, err
+	}
+	return &req, func(context.Context) (any, error) {
+		alloc, err := allocateSpecs(req.Components, req.Budget)
+		if err != nil {
+			return nil, err
+		}
+		return allocationResponse(req.Budget, alloc), nil
+	}, nil
+}
+
+func (s *Server) runSpeedup(r *http.Request) (any, func(context.Context) (any, error), error) {
+	var req SpeedupRequest
+	if err := decodeStrict(r.Body, &req); err != nil {
+		return nil, nil, err
+	}
+	return &req, func(context.Context) (any, error) {
+		base, err := allocateSpecs(req.Base, req.Budget)
+		if err != nil {
+			return nil, err
+		}
+		opt, err := allocateSpecs(req.Optimized, req.Budget)
+		if err != nil {
+			return nil, err
+		}
+		speedup := perfmodel.PredictSpeedup(base, opt)
+		if math.IsInf(speedup, 0) || math.IsNaN(speedup) {
+			return nil, badRequest(fmt.Errorf("degenerate speedup (optimized prediction is zero)"))
+		}
+		return &SpeedupResponse{
+			Budget:             req.Budget,
+			BasePredicted:      base.Predicted,
+			OptimizedPredicted: opt.Predicted,
+			Speedup:            speedup,
+		}, nil
+	}, nil
+}
+
+func (s *Server) runSimulate(r *http.Request) (any, func(context.Context) (any, error), error) {
+	var req SimulateRequest
+	if err := decodeStrict(r.Body, &req); err != nil {
+		return nil, nil, err
+	}
+	return &req, func(jobCtx context.Context) (any, error) {
+		spec := req.SimSpec // copy: ApplySeed must not mutate the cached spec
+		spec.Instances = append([]InstanceSpec(nil), spec.Instances...)
+		spec.ApplySeed(req.SeedOffset)
+		sim, err := spec.Build()
+		if err != nil {
+			return nil, badRequest(err)
+		}
+		if err := sim.Validate(); err != nil {
+			return nil, badRequest(err)
+		}
+		cfg := mpi.Config{Machine: s.opts.Machine, FastCollectives: req.FastColl}
+		rep, err := sim.RunContext(jobCtx, cfg)
+		if err != nil {
+			return nil, err
+		}
+		resp := &SimulateResponse{
+			Elapsed:       rep.Elapsed,
+			DensitySteps:  rep.DensitySteps,
+			Ranks:         sim.TotalRanks(),
+			CouplingShare: rep.CouplingShare,
+		}
+		for i, is := range sim.Instances {
+			resp.Instances = append(resp.Instances, ComponentTime{
+				Name: is.Name, Time: rep.InstanceTime[i], Compute: rep.InstanceComp[i],
+			})
+		}
+		for u, us := range sim.Units {
+			resp.Units = append(resp.Units, ComponentTime{
+				Name: us.Name, Time: rep.UnitTime[u], Compute: rep.UnitComp[u],
+			})
+		}
+		return resp, nil
+	}, nil
+}

@@ -1,0 +1,277 @@
+// Package serve exposes the performance model and the virtual-time
+// coupled simulator as an HTTP JSON service: fit PE curves, run the
+// Algorithm 1 greedy allocation, predict speedups, and execute full
+// coupled-simulation jobs. The service layer adds the production
+// serving machinery the one-shot CLIs lack — a bounded worker pool
+// with backpressure, per-request deadlines with real cancellation
+// plumbed into the rank goroutines, a content-addressed result cache
+// with singleflight deduplication, and Prometheus-style metrics.
+//
+// The request schemas here are shared with the CLIs: SimSpec is the
+// cpxsim -config schema and ComponentSpec the cpxmodel -components
+// schema, so a scenario file works unchanged as a request body.
+package serve
+
+import (
+	"fmt"
+	"strings"
+
+	"cpx/internal/coupler"
+	"cpx/internal/perfmodel"
+)
+
+// InstanceSpec describes one application instance (the cpxsim schema).
+type InstanceSpec struct {
+	Name      string `json:"name"`
+	Kind      string `json:"kind"` // "mgcfd" | "simpic"
+	MeshCells int64  `json:"meshCells"`
+	Ranks     int    `json:"ranks"`
+	Seed      int64  `json:"seed"`
+}
+
+// UnitSpec describes one coupling unit (the cpxsim schema).
+type UnitSpec struct {
+	Name          string `json:"name"`
+	A             int    `json:"a"`
+	BIdx          int    `json:"b"`
+	Kind          string `json:"kind"` // "sliding" | "steady"
+	Points        int    `json:"points"`
+	Ranks         int    `json:"ranks"`
+	Search        string `json:"search"` // "brute" | "tree" | "prefetch"
+	ExchangeEvery int    `json:"exchangeEvery"`
+}
+
+// SimSpec is the JSON description of a coupled simulation — the same
+// schema cpxsim reads with -config, accepted verbatim by POST
+// /v1/simulate.
+type SimSpec struct {
+	DensitySteps    int            `json:"densitySteps"`
+	RotationPerStep float64        `json:"rotationPerStep"`
+	Instances       []InstanceSpec `json:"instances"`
+	Units           []UnitSpec     `json:"units"`
+}
+
+// Build translates the JSON spec into a coupler.Simulation at
+// production scale.
+func (sp *SimSpec) Build() (*coupler.Simulation, error) {
+	sim := &coupler.Simulation{
+		DensitySteps:    sp.DensitySteps,
+		RotationPerStep: sp.RotationPerStep,
+		Scale:           coupler.ProductionScale(),
+	}
+	for _, ji := range sp.Instances {
+		kind := coupler.KindMGCFD
+		switch strings.ToLower(ji.Kind) {
+		case "mgcfd":
+		case "simpic":
+			kind = coupler.KindSIMPIC
+		default:
+			return nil, fmt.Errorf("instance %q: unknown kind %q", ji.Name, ji.Kind)
+		}
+		sim.Instances = append(sim.Instances, coupler.InstanceSpec{
+			Name: ji.Name, Kind: kind, MeshCells: ji.MeshCells, Ranks: ji.Ranks, Seed: ji.Seed,
+		})
+	}
+	for _, ju := range sp.Units {
+		kind := coupler.SlidingPlane
+		if strings.EqualFold(ju.Kind, "steady") {
+			kind = coupler.SteadyState
+		}
+		search := coupler.TreePrefetch
+		switch strings.ToLower(ju.Search) {
+		case "brute":
+			search = coupler.BruteForce
+		case "tree":
+			search = coupler.Tree
+		case "", "prefetch":
+		default:
+			return nil, fmt.Errorf("unit %q: unknown search %q", ju.Name, ju.Search)
+		}
+		sim.Units = append(sim.Units, coupler.UnitSpec{
+			Name: ju.Name, A: ju.A, B: ju.BIdx, Kind: kind, Points: ju.Points,
+			Ranks: ju.Ranks, Search: search, ExchangeEvery: ju.ExchangeEvery,
+		})
+	}
+	return sim, nil
+}
+
+// ApplySeed offsets every instance's setup seed, replaying the whole
+// coupled run bitwise-identically for the same offset (the cpxsim
+// -seed semantics).
+func (sp *SimSpec) ApplySeed(offset int64) {
+	for i := range sp.Instances {
+		sp.Instances[i].Seed += offset
+	}
+}
+
+// SampleSpec is one benchmark observation used to fit a PE curve.
+type SampleSpec struct {
+	Cores   int     `json:"cores"`
+	Runtime float64 `json:"runtime"` // seconds
+}
+
+// CurveSpec is an explicit fitted curve, accepted instead of samples
+// when the caller already knows the knee parameters.
+type CurveSpec struct {
+	BaseCores int     `json:"baseCores"`
+	BaseTime  float64 `json:"baseTime"`
+	P50       float64 `json:"p50"`
+	K         float64 `json:"k"`
+}
+
+// ComponentSpec describes one component for the Algorithm 1 allocation
+// — the cpxmodel -components schema. Exactly one of Samples (fit a
+// curve) or Curve (use as given) must be set.
+type ComponentSpec struct {
+	Name      string       `json:"name"`
+	IsCU      bool         `json:"isCU"`
+	MinRanks  int          `json:"minRanks"`
+	SizeRatio float64      `json:"sizeRatio"`
+	IterRatio float64      `json:"iterRatio"`
+	Samples   []SampleSpec `json:"samples,omitempty"`
+	Curve     *CurveSpec   `json:"curve,omitempty"`
+}
+
+// Build fits (or adopts) the component's curve and returns the
+// perfmodel view of it.
+func (cs *ComponentSpec) Build() (perfmodel.Component, error) {
+	var curve *perfmodel.Curve
+	switch {
+	case cs.Curve != nil && len(cs.Samples) > 0:
+		return perfmodel.Component{}, fmt.Errorf("component %q: give samples or an explicit curve, not both", cs.Name)
+	case cs.Curve != nil:
+		curve = &perfmodel.Curve{
+			BaseCores: cs.Curve.BaseCores, BaseTime: cs.Curve.BaseTime,
+			P50: cs.Curve.P50, K: cs.Curve.K,
+		}
+	default:
+		samples := make([]perfmodel.Sample, len(cs.Samples))
+		for i, s := range cs.Samples {
+			samples[i] = perfmodel.Sample{Cores: s.Cores, Runtime: s.Runtime}
+		}
+		var err error
+		curve, err = perfmodel.FitCurve(samples)
+		if err != nil {
+			return perfmodel.Component{}, fmt.Errorf("component %q: %w", cs.Name, err)
+		}
+	}
+	return perfmodel.Component{
+		Name: cs.Name, Curve: curve, IsCU: cs.IsCU,
+		MinRanks: cs.MinRanks, SizeRatio: cs.SizeRatio, IterRatio: cs.IterRatio,
+	}, nil
+}
+
+// BuildComponents builds every spec in order.
+func BuildComponents(specs []ComponentSpec) ([]perfmodel.Component, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("no components")
+	}
+	out := make([]perfmodel.Component, len(specs))
+	for i := range specs {
+		c, err := specs[i].Build()
+		if err != nil {
+			return nil, err
+		}
+		out[i] = c
+	}
+	return out, nil
+}
+
+// FitRequest is the body of POST /v1/fit.
+type FitRequest struct {
+	Samples []SampleSpec `json:"samples"`
+}
+
+// FitResponse reports the fitted knee and the worst per-sample error.
+type FitResponse struct {
+	Curve     CurveSpec `json:"curve"`
+	MaxRelErr float64   `json:"maxRelErr"`
+}
+
+// AllocateRequest is the body of POST /v1/allocate.
+type AllocateRequest struct {
+	Budget     int             `json:"budget"`
+	Components []ComponentSpec `json:"components"`
+}
+
+// AllocatedComponent is one row of an allocation result.
+type AllocatedComponent struct {
+	Name  string  `json:"name"`
+	IsCU  bool    `json:"isCU"`
+	Cores int     `json:"cores"`
+	Time  float64 `json:"time"`
+}
+
+// AllocateResponse reports the Algorithm 1 allocation.
+type AllocateResponse struct {
+	Budget      int                  `json:"budget"`
+	Components  []AllocatedComponent `json:"components"`
+	Predicted   float64              `json:"predicted"`
+	MaxApp      float64              `json:"maxApp"`
+	MaxCU       float64              `json:"maxCU"`
+	Unallocated int                  `json:"unallocated"`
+}
+
+// SpeedupRequest is the body of POST /v1/speedup: allocate the same
+// budget to a base and an optimised component set and compare.
+type SpeedupRequest struct {
+	Budget    int             `json:"budget"`
+	Base      []ComponentSpec `json:"base"`
+	Optimized []ComponentSpec `json:"optimized"`
+}
+
+// SpeedupResponse reports both predictions and their ratio.
+type SpeedupResponse struct {
+	Budget             int     `json:"budget"`
+	BasePredicted      float64 `json:"basePredicted"`
+	OptimizedPredicted float64 `json:"optimizedPredicted"`
+	Speedup            float64 `json:"speedup"`
+}
+
+// SimulateRequest is the body of POST /v1/simulate: a cpxsim scenario
+// plus run options.
+type SimulateRequest struct {
+	SimSpec
+	// SeedOffset shifts every instance seed (cpxsim -seed).
+	SeedOffset int64 `json:"seedOffset,omitempty"`
+	// FastColl selects the analytic collective path (cpxsim -fastcoll);
+	// virtual times are bitwise-identical either way.
+	FastColl bool `json:"fastColl,omitempty"`
+}
+
+// ComponentTime is one component's virtual-time outcome.
+type ComponentTime struct {
+	Name    string  `json:"name"`
+	Time    float64 `json:"time"`
+	Compute float64 `json:"compute"`
+}
+
+// SimulateResponse summarises a coupled run.
+type SimulateResponse struct {
+	Elapsed       float64         `json:"elapsed"`
+	DensitySteps  int             `json:"densitySteps"`
+	Ranks         int             `json:"ranks"`
+	CouplingShare float64         `json:"couplingShare"`
+	Instances     []ComponentTime `json:"instances"`
+	Units         []ComponentTime `json:"units"`
+}
+
+// DemoComponents returns the built-in four-component model scenario
+// (cpxmodel -demo): three engine rows with synthetic PE samples and one
+// coupling unit. The serve smoke test and the demo CLI share it.
+func DemoComponents() []ComponentSpec {
+	mk := func(name string, base, p50 float64, isCU bool) ComponentSpec {
+		truth := perfmodel.Curve{BaseCores: 100, BaseTime: base, P50: p50, K: 1.3}
+		var samples []SampleSpec
+		for _, p := range []int{100, 200, 400, 800, 1600, 3200} {
+			samples = append(samples, SampleSpec{Cores: p, Runtime: truth.Runtime(float64(p))})
+		}
+		return ComponentSpec{Name: name, IsCU: isCU, MinRanks: 100, Samples: samples}
+	}
+	return []ComponentSpec{
+		mk("compressor row (24M)", 30, 5000, false),
+		mk("combustor (380M equiv)", 400, 2500, false),
+		mk("turbine row (150M)", 90, 8000, false),
+		mk("coupling unit", 0.5, 200, true),
+	}
+}
