@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: check vet lint build test test-race race serve-smoke bench-smoke bench-trace bench-mpi bench-fault bench-serve
+.PHONY: check vet lint build test test-race race serve-smoke telemetry-smoke bench-smoke bench-trace bench-mpi bench-fault bench-serve bench-telemetry
 
-check: vet lint build test race serve-smoke bench-smoke bench-fault
+check: vet lint build test race serve-smoke telemetry-smoke bench-smoke bench-fault
 
 vet:
 	$(GO) vet ./...
@@ -34,9 +34,18 @@ test-race:
 
 # End-to-end self-test of the cpxserve HTTP service on an ephemeral
 # port: health, a demo allocation served byte-identically from the
-# cache on repeat, a small coupled simulation, metrics.
+# cache on repeat, a small coupled simulation, a live job watched over
+# SSE (at least one virtual-time progress event must arrive before the
+# job completes), and the metrics exposition.
 serve-smoke:
 	$(GO) run ./cmd/cpxserve -smoke
+
+# Live-telemetry smoke: submits a slow simulation and asserts progress
+# streams over /v1/jobs/{id}/events while it runs. The job-stream leg
+# lives inside the cpxserve smoke; this runs it with JSON logs enabled
+# so the structured-logging path is exercised too.
+telemetry-smoke:
+	$(GO) run ./cmd/cpxserve -smoke -log json -v
 
 # One iteration of every runtime benchmark: catches benchmarks that no
 # longer compile or run, without the cost of a real measurement.
@@ -55,6 +64,11 @@ bench-mpi:
 # crash-recovery cycle); baselines recorded in BENCH_fault.json.
 bench-fault:
 	$(GO) test -run '^$$' -bench 'BenchmarkRunResilient' -benchtime 1x ./internal/coupler/
+
+# Re-measure the virtual-time metrics-sampling overhead recorded in
+# BENCH_telemetry.json (metrics on vs off at 8/64/512 ranks).
+bench-telemetry:
+	$(GO) test -run '^$$' -bench 'BenchmarkRunMetrics' -benchmem -count 5 ./internal/mpi/
 
 # Re-measure the serving baselines recorded in BENCH_serve.json (cached
 # vs uncached request path) and BENCH_perfmodel.json (Alg. 1 fast path

@@ -23,16 +23,20 @@
 //	-trace FILE    write a Chrome/Perfetto trace-event JSON timeline
 //	-commmatrix F  write the rank×rank comm matrix as CSV
 //	-json FILE     write a JSON run summary (profile + critical path)
+//	-timeseries F  sample per-rank virtual-time metrics to FILE
+//	               (.csv selects CSV, else JSON); -interval sets the period
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"cpx/internal/cluster"
 	"cpx/internal/mpi"
 	"cpx/internal/pressure"
+	"cpx/internal/telemetry"
 	"cpx/internal/trace"
 )
 
@@ -65,6 +69,8 @@ func main() {
 	tracePath := flag.String("trace", "", "write a Chrome/Perfetto trace-event JSON timeline to FILE")
 	commPath := flag.String("commmatrix", "", "write the rank×rank comm matrix CSV to FILE")
 	jsonPath := flag.String("json", "", "write a JSON run summary to FILE")
+	seriesPath := flag.String("timeseries", "", "sample virtual-time metrics to FILE (.csv selects CSV, else JSON)")
+	interval := flag.Float64("interval", 0, "virtual-time sampling period in seconds (0 = default 0.01)")
 	flag.Parse()
 
 	if *cores < 1 {
@@ -79,7 +85,11 @@ func main() {
 	if *optimized {
 		cfg.Variant = pressure.Optimized
 	}
-	stats, err := mpi.Run(*cores, mpi.Config{Machine: cluster.ARCHER2(), Profile: true, Trace: traced},
+	runCfg := mpi.Config{Machine: cluster.ARCHER2(), Profile: true, Trace: traced}
+	if *seriesPath != "" {
+		runCfg.Metrics = &telemetry.Config{Interval: *interval}
+	}
+	stats, err := mpi.Run(*cores, runCfg,
 		func(c *mpi.Comm) error {
 			_, err := pressure.Run(c, cfg, pressure.Production())
 			return err
@@ -99,6 +109,16 @@ func main() {
 	}
 	if *jsonPath != "" {
 		writeFile(*jsonPath, func(f *os.File) error { return stats.Summary().WriteJSON(f) })
+	}
+	if *seriesPath != "" {
+		if stats.Metrics == nil {
+			fail("no metric series sampled")
+		}
+		if strings.HasSuffix(*seriesPath, ".csv") {
+			writeFile(*seriesPath, func(f *os.File) error { return stats.Metrics.WriteCSV(f) })
+		} else {
+			writeFile(*seriesPath, func(f *os.File) error { return stats.Metrics.WriteJSON(f) })
+		}
 	}
 
 	if *csv {

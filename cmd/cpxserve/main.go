@@ -11,12 +11,20 @@
 //
 // Endpoints:
 //
-//	GET  /healthz      liveness + queue/cache gauges
-//	GET  /metrics      Prometheus text exposition
-//	POST /v1/fit       {"samples": [{"cores": 100, "runtime": 30}, ...]}
-//	POST /v1/allocate  {"budget": 40000, "components": [...]}
-//	POST /v1/speedup   {"budget": 40000, "base": [...], "optimized": [...]}
-//	POST /v1/simulate  a cpxsim scenario (+ "seedOffset", "fastColl")
+//	GET  /healthz             liveness + queue/cache gauges
+//	GET  /metrics             Prometheus text exposition
+//	GET  /v1/jobs             registry listing (every request is a job)
+//	GET  /v1/jobs/{id}        one job's state and progress
+//	GET  /v1/jobs/{id}/events live progress stream (Server-Sent Events)
+//	POST /v1/fit              {"samples": [{"cores": 100, "runtime": 30}, ...]}
+//	POST /v1/allocate         {"budget": 40000, "components": [...]}
+//	POST /v1/speedup          {"budget": 40000, "base": [...], "optimized": [...]}
+//	POST /v1/simulate         a cpxsim scenario (+ "seedOffset", "fastColl")
+//
+// Every request is assigned a job ID (returned in the X-Job-ID header
+// and in JSON error bodies) and tracked in the registry behind
+// /v1/jobs. Structured logs go to stderr; -log selects text or JSON
+// lines, -v enables debug events.
 //
 // A ?timeout=30s query parameter sets the per-request deadline; when it
 // expires the job is cancelled and every rank goroutine unwinds. The
@@ -28,6 +36,7 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -35,6 +44,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -51,10 +61,17 @@ func main() {
 	workers := flag.Int("workers", 0, "concurrent jobs (0 = default 4)")
 	queue := flag.Int("queue", 0, "job queue length (0 = default 16)")
 	timeout := flag.Duration("timeout", 0, "default per-request deadline (0 = 60s)")
+	logFormat := flag.String("log", "text", "structured log format: text or json")
+	verbose := flag.Bool("v", false, "log debug events (job admitted / job running)")
 	smoke := flag.Bool("smoke", false, "self-test against an ephemeral port, then exit")
 	flag.Parse()
 
-	opts := serve.Options{Workers: *workers, QueueLen: *queue, DefaultTimeout: *timeout}
+	logger, err := newLogger(*logFormat, *verbose)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cpxserve: %v\n", err)
+		os.Exit(1)
+	}
+	opts := serve.Options{Workers: *workers, QueueLen: *queue, DefaultTimeout: *timeout, Logger: logger}
 	if *smoke {
 		if err := runSmoke(opts); err != nil {
 			fmt.Fprintf(os.Stderr, "cpxserve: smoke: %v\n", err)
@@ -64,8 +81,26 @@ func main() {
 		return
 	}
 	if err := runServer(*addr, opts); err != nil {
-		fmt.Fprintf(os.Stderr, "cpxserve: %v\n", err)
+		logger.Error("server failed", "error", err)
 		os.Exit(1)
+	}
+}
+
+// newLogger builds the process logger: structured lines on stderr in
+// the chosen format.
+func newLogger(format string, verbose bool) (*slog.Logger, error) {
+	level := slog.LevelInfo
+	if verbose {
+		level = slog.LevelDebug
+	}
+	ho := &slog.HandlerOptions{Level: level}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, ho)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, ho)), nil
+	default:
+		return nil, fmt.Errorf("unknown -log format %q (want text or json)", format)
 	}
 }
 
@@ -76,7 +111,7 @@ func runServer(addr string, opts serve.Options) error {
 	hs := &http.Server{Addr: addr, Handler: s.Handler()}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
-	fmt.Printf("cpxserve: listening on %s\n", addr)
+	opts.Logger.Info("listening", "addr", addr)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -86,7 +121,7 @@ func runServer(addr string, opts serve.Options) error {
 		return err
 	case <-sig:
 	}
-	fmt.Println("cpxserve: shutting down, draining jobs")
+	opts.Logger.Info("shutting down, draining jobs")
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	err := hs.Shutdown(ctx)
@@ -96,8 +131,12 @@ func runServer(addr string, opts serve.Options) error {
 
 // runSmoke exercises the full serving path end to end on an ephemeral
 // port: health, a demo allocation (miss, then byte-identical hit), a
-// small coupled simulation, and the metrics exposition.
+// small coupled simulation, live job progress over SSE, and the
+// metrics exposition.
 func runSmoke(opts serve.Options) error {
+	// A fine virtual-time sampling period so even the short smoke
+	// simulation emits many progress observations.
+	opts.ProgressInterval = 1e-4
 	s := serve.New(opts)
 	defer s.Close()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -179,6 +218,10 @@ func runSmoke(opts serve.Options) error {
 		return fmt.Errorf("simulate response: %s", body)
 	}
 
+	if err := smokeJobStream(base); err != nil {
+		return fmt.Errorf("job stream: %w", err)
+	}
+
 	metrics, err := get("/metrics")
 	if err != nil {
 		return err
@@ -186,10 +229,113 @@ func runSmoke(opts serve.Options) error {
 	for _, want := range []string{
 		"cpxserve_cache_hits_total 1",
 		`cpxserve_requests_total{endpoint="/v1/allocate",code="200"} 2`,
+		`cpxserve_jobs_finished_total{state="done"}`,
+		"cpxserve_jobs_active 0",
 	} {
 		if !strings.Contains(metrics, want) {
 			return fmt.Errorf("metrics missing %q", want)
 		}
 	}
 	return nil
+}
+
+// smokeJobStream submits a slow simulation and watches it live: the
+// job must be listed in /v1/jobs while in flight, stream at least one
+// positive-virtual-time progress event over SSE before it completes,
+// and finish with a terminal "done" event.
+func smokeJobStream(base string) error {
+	slowSim := `{
+	  "densitySteps": 40, "rotationPerStep": 0.001,
+	  "instances": [
+	    {"name": "row1", "kind": "mgcfd", "meshCells": 262144, "ranks": 4, "seed": 1},
+	    {"name": "row2", "kind": "mgcfd", "meshCells": 262144, "ranks": 4, "seed": 2}],
+	  "units": [
+	    {"name": "cu", "a": 0, "b": 1, "kind": "sliding", "points": 2000, "ranks": 2, "search": "tree"}]
+	}`
+	errc := make(chan error, 1)
+	go func() {
+		resp, err := http.Post(base+"/v1/simulate", "application/json", strings.NewReader(slowSim))
+		if err != nil {
+			errc <- err
+			return
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			errc <- fmt.Errorf("slow simulate: %d %s", resp.StatusCode, b)
+			return
+		}
+		errc <- nil
+	}()
+
+	// Find the in-flight job in the registry listing.
+	var jobID string
+	deadline := time.Now().Add(10 * time.Second)
+	for jobID == "" {
+		if time.Now().After(deadline) {
+			return errors.New("slow job never appeared in /v1/jobs")
+		}
+		resp, err := http.Get(base + "/v1/jobs")
+		if err != nil {
+			return err
+		}
+		var list struct {
+			Jobs []struct {
+				ID       string `json:"id"`
+				Endpoint string `json:"endpoint"`
+				State    string `json:"state"`
+			} `json:"jobs"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&list)
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		for _, jv := range list.Jobs {
+			if jv.Endpoint == "/v1/simulate" && (jv.State == "queued" || jv.State == "running") {
+				jobID = jv.ID
+			}
+		}
+		if jobID == "" {
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	// Stream its SSE events until "done".
+	resp, err := http.Get(base + "/v1/jobs/" + jobID + "/events")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	progressed := false
+	event := ""
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			var view struct {
+				State       string  `json:"state"`
+				VirtualTime float64 `json:"virtual_time_s"`
+			}
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &view); err != nil {
+				return fmt.Errorf("bad SSE data: %w", err)
+			}
+			if event == "progress" && view.State == "running" && view.VirtualTime > 0 {
+				progressed = true
+			}
+			if event == "done" {
+				if view.State != "done" {
+					return fmt.Errorf("terminal state %q", view.State)
+				}
+				if !progressed {
+					return errors.New("no live progress event arrived before completion")
+				}
+				return <-errc
+			}
+		}
+	}
+	return fmt.Errorf("SSE stream ended without a done event (scan err %v)", sc.Err())
 }

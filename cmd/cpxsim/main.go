@@ -8,13 +8,19 @@
 //	cpxsim -demo -critpath -trace trace.json -commmatrix comm.csv -json summary.json
 //	cpxsim -config engine.json -fastcoll   # analytic collectives, same virtual times
 //	cpxsim -demo -faults 0.05 -ckpt 2      # inject crashes (MTBF 50ms), checkpoint every 2 steps
+//	cpxsim -demo -metrics series.csv       # sample virtual-time metrics (.csv → CSV, else JSON)
 //
 // The export flags enable event tracing: -trace writes a Chrome/Perfetto
 // trace-event JSON timeline (open at ui.perfetto.dev), -commmatrix the
 // rank×rank communication matrix CSV, -json a machine-readable run
 // summary, and -critpath prints which instance or coupling unit sits on
-// the virtual-time critical path. If an aborted or failed run produced
-// partial timelines, the export flags still write them.
+// the virtual-time critical path. -metrics samples per-rank and
+// per-component counters (messages, bytes, compute/comm/wait split,
+// mailbox depth, collectives) at fixed virtual-time intervals
+// (-metrics-interval) without perturbing the run. If an aborted or
+// failed run produced partial timelines or series, the export flags
+// still write them — and the -json summary of a faulty run carries the
+// flight-recorder tail of each failed rank.
 //
 // -seed offsets every instance's setup seed and seeds the fault plan, so
 // two invocations with the same seed replay bitwise-identical runs.
@@ -44,12 +50,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"cpx/internal/cluster"
 	"cpx/internal/coupler"
 	"cpx/internal/fault"
 	"cpx/internal/mpi"
 	"cpx/internal/serve"
+	"cpx/internal/telemetry"
 	"cpx/internal/trace"
 )
 
@@ -81,6 +89,8 @@ func main() {
 	seed := flag.Int64("seed", 0, "offset instance setup seeds and seed the fault plan")
 	faults := flag.Float64("faults", 0, "inject rank crashes with this MTBF in virtual seconds (0 disables)")
 	ckpt := flag.Int("ckpt", 0, "coordinated-checkpoint interval in density steps (0 disables)")
+	metricsPath := flag.String("metrics", "", "sample per-rank/per-component virtual-time metrics to FILE (.csv selects CSV, else JSON)")
+	metricsInterval := flag.Float64("metrics-interval", 0, "virtual-time sampling period in seconds (0 = default 0.01)")
 	flag.Parse()
 
 	var jc serve.SimSpec
@@ -112,6 +122,9 @@ func main() {
 	fmt.Printf("running coupled simulation: %d instances, %d coupling units, %d ranks total\n",
 		len(sim.Instances), len(sim.Units), sim.TotalRanks())
 	cfg := mpi.Config{Machine: cluster.ARCHER2(), Trace: traced, FastCollectives: *fastcoll}
+	if *metricsPath != "" {
+		cfg.Metrics = &telemetry.Config{Interval: *metricsInterval}
+	}
 
 	var rep *coupler.Report
 	var res *coupler.ResilienceReport
@@ -144,10 +157,12 @@ func main() {
 		rep, err = sim.Run(cfg)
 	}
 	if err != nil {
-		// A failed run may still carry partial timelines worth exporting
-		// (e.g. to inspect how far a faulty run got before dying).
+		// A failed run may still carry partial timelines, metric series
+		// and flight-recorder tails worth exporting (e.g. to inspect how
+		// far a faulty run got before dying, and what each failed rank
+		// was doing when it died).
 		if rep != nil && rep.Stats != nil {
-			exportArtifacts(rep, *tracePath, *commPath, *jsonPath)
+			exportArtifacts(rep, *tracePath, *commPath, *jsonPath, *metricsPath)
 		}
 		fmt.Fprintf(os.Stderr, "cpxsim: %v\n", err)
 		os.Exit(1)
@@ -173,13 +188,13 @@ func main() {
 			fmt.Printf("%-24s %10.3f s %6.1f%%\n", ls.Label, ls.Seconds, 100*ls.Share)
 		}
 	}
-	exportArtifacts(rep, *tracePath, *commPath, *jsonPath)
+	exportArtifacts(rep, *tracePath, *commPath, *jsonPath, *metricsPath)
 }
 
 // exportArtifacts writes whichever trace products were requested. It is
 // also called for failed runs carrying partial stats, so the exporters
-// must tolerate missing timelines or comm matrices.
-func exportArtifacts(rep *coupler.Report, tracePath, commPath, jsonPath string) {
+// must tolerate missing timelines, comm matrices or metric series.
+func exportArtifacts(rep *coupler.Report, tracePath, commPath, jsonPath, metricsPath string) {
 	writeFile := func(path string, fn func(f *os.File) error) {
 		f, err := os.Create(path)
 		if err == nil {
@@ -205,5 +220,16 @@ func exportArtifacts(rep *coupler.Report, tracePath, commPath, jsonPath string) 
 			sum.CriticalPath.Components = rep.CriticalComponents
 		}
 		writeFile(jsonPath, func(f *os.File) error { return sum.WriteJSON(f) })
+	}
+	if metricsPath != "" {
+		if rep.Metrics == nil {
+			fmt.Fprintln(os.Stderr, "cpxsim: no metric series sampled (run died before the first boundary?)")
+			return
+		}
+		if strings.HasSuffix(metricsPath, ".csv") {
+			writeFile(metricsPath, func(f *os.File) error { return rep.Metrics.WriteCSV(f) })
+		} else {
+			writeFile(metricsPath, func(f *os.File) error { return rep.Metrics.WriteJSON(f) })
+		}
 	}
 }

@@ -25,13 +25,14 @@ func TestFloatReduce(t *testing.T) {
 
 func TestIsSimCritical(t *testing.T) {
 	for path, want := range map[string]bool{
-		"cpx/internal/mpi":          true,
-		"cpx/internal/amg":          true,
-		"cpx/internal/coupler":      true,
-		"cpx/internal/trace":        false,
-		"cpx/internal/analysis":     false,
-		"cpx/cmd/cpx":              false,
-		"other/internal/mpi":       false,
+		"cpx/internal/mpi":       true,
+		"cpx/internal/amg":       true,
+		"cpx/internal/coupler":   true,
+		"cpx/internal/telemetry": true,
+		"cpx/internal/trace":     false,
+		"cpx/internal/analysis":  false,
+		"cpx/cmd/cpx":            false,
+		"other/internal/mpi":     false,
 	} {
 		if got := analysis.IsSimCritical(path); got != want {
 			t.Errorf("IsSimCritical(%q) = %v, want %v", path, got, want)

@@ -1,0 +1,100 @@
+package coupler
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"cpx/internal/telemetry"
+)
+
+// TestCoupledMetricsRunIdenticalAcrossHostParallelism extends the
+// coupled determinism gate to the telemetry layer: with the virtual-time
+// sampler on, the per-rank and per-component series must be bitwise
+// identical across host parallelism levels, and the clocks must match a
+// metrics-off run exactly.
+func TestCoupledMetricsRunIdenticalAcrossHostParallelism(t *testing.T) {
+	metricsRun := func() *Report {
+		cfg := tracedRunCfg()
+		cfg.Metrics = &telemetry.Config{Interval: 1e-3}
+		rep, err := twoRowSim(Tree).Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	parallel := metricsRun()
+	prev := runtime.GOMAXPROCS(1)
+	serial := metricsRun()
+	runtime.GOMAXPROCS(prev)
+
+	if parallel.Metrics == nil || serial.Metrics == nil {
+		t.Fatal("sampled coupled run carries no metrics")
+	}
+	if !reflect.DeepEqual(parallel.Metrics, serial.Metrics) {
+		t.Error("metric series differ between host parallelism levels")
+	}
+
+	// Metrics must not perturb the run: clocks bitwise-equal to the
+	// unsampled run.
+	plain, err := twoRowSim(Tree).Run(tracedRunCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Elapsed != parallel.Elapsed {
+		t.Errorf("Elapsed %v with metrics, %v without", parallel.Elapsed, plain.Elapsed)
+	}
+	for r := range plain.Stats.Clocks {
+		if plain.Stats.Clocks[r] != parallel.Stats.Clocks[r] {
+			t.Errorf("rank %d clock %v with metrics, %v without",
+				r, parallel.Stats.Clocks[r], plain.Stats.Clocks[r])
+		}
+	}
+	for r := range plain.Stats.Timelines {
+		if !reflect.DeepEqual(plain.Stats.Timelines[r], parallel.Stats.Timelines[r]) {
+			t.Errorf("rank %d timeline differs with metrics on", r)
+		}
+	}
+}
+
+// TestCoupledMetricsComponentAttribution: the coupler must aggregate the
+// rank series into one component series per instance and coupling unit,
+// with rank counts matching the layout and totals summing the members.
+func TestCoupledMetricsComponentAttribution(t *testing.T) {
+	sim := twoRowSim(Tree)
+	cfg := tracedRunCfg()
+	cfg.Metrics = &telemetry.Config{Interval: 1e-3}
+	rep, err := sim.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Metrics == nil {
+		t.Fatal("no metrics on sampled run")
+	}
+	want := map[string]int{}
+	for _, is := range sim.Instances {
+		want[is.Name] += is.Ranks
+	}
+	for _, us := range sim.Units {
+		want[us.Name] += us.Ranks
+	}
+	got := map[string]int{}
+	for _, ls := range rep.Metrics.Components {
+		got[ls.Label] += ls.Ranks
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("component rank attribution = %v, want %v", got, want)
+	}
+	// Summing each label's members in rank order reproduces the
+	// aggregation exactly (same additions in the same order).
+	wantCompute := map[string]float64{}
+	for _, rs := range rep.Metrics.Ranks {
+		wantCompute[sim.ComponentName(rs.Rank)] += rs.Totals.Compute
+	}
+	for _, ls := range rep.Metrics.Components {
+		if ls.Totals.Compute != wantCompute[ls.Label] {
+			t.Errorf("component %q compute %v, member sum %v",
+				ls.Label, ls.Totals.Compute, wantCompute[ls.Label])
+		}
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"cpx/internal/mgcfd"
 	"cpx/internal/mpi"
 	"cpx/internal/simpic"
+	"cpx/internal/telemetry"
 	"cpx/internal/trace"
 )
 
@@ -292,6 +293,11 @@ type Report struct {
 	// patterns of each rank's final solver/mapper state, used by the
 	// differential resilience tests to assert bitwise restart equivalence.
 	RankDigests []uint64
+	// Metrics is the run's virtual-time metric series (nil unless
+	// mpi.Config.Metrics was set), with Components filled by the
+	// rank→instance/unit attribution. Present on failed runs too, so
+	// partial artifacts keep their progress series.
+	Metrics *telemetry.RunSeries
 }
 
 // DominantComponent returns the instance/unit carrying the largest share
@@ -377,7 +383,12 @@ func (sim *Simulation) run(cfg mpi.Config, rc *resilientCtx) (*Report, error) {
 	})
 	if err != nil {
 		if stats != nil {
-			return &Report{Stats: stats, Elapsed: stats.Elapsed, DensitySteps: sim.DensitySteps}, err
+			return &Report{
+				Stats:        stats,
+				Elapsed:      stats.Elapsed,
+				DensitySteps: sim.DensitySteps,
+				Metrics:      sim.componentMetrics(stats),
+			}, err
 		}
 		return nil, err
 	}
@@ -426,7 +437,19 @@ func (sim *Simulation) run(cfg mpi.Config, rc *resilientCtx) (*Report, error) {
 		rep.Critical = cp
 		rep.CriticalComponents = cp.ByLabel(sim.ComponentName)
 	}
+	rep.Metrics = sim.componentMetrics(stats)
 	return rep, nil
+}
+
+// componentMetrics attributes a run's metric series to the simulation's
+// instances and coupling units and returns it (nil when the run was not
+// sampled).
+func (sim *Simulation) componentMetrics(stats *mpi.Stats) *telemetry.RunSeries {
+	if stats.Metrics == nil {
+		return nil
+	}
+	stats.Metrics.Components = stats.Metrics.AggregateBy(sim.ComponentName)
+	return stats.Metrics
 }
 
 // Message tags: each unit gets a tag block.

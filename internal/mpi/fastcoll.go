@@ -102,6 +102,12 @@ func (st *station) interrupt() {
 // the same collective, replays the schedule once complete, and returns
 // this rank's result.
 func (c *Comm) rendezvous(kind collKind, root int, op Op, data []float64) []float64 {
+	// The fast path bypasses pushOp; count the outermost collective here
+	// so the metrics counter agrees with the message-level path. (Fault
+	// plans force the message-level path, so no flight recording needed.)
+	if p := c.proc; p.metrics != nil && p.op == "" {
+		p.metrics.Collective()
+	}
 	st := c.world.stationFor(c)
 	st.mu.Lock()
 	defer st.mu.Unlock()

@@ -32,6 +32,7 @@ import (
 
 	"cpx/internal/cluster"
 	"cpx/internal/fault"
+	"cpx/internal/telemetry"
 	"cpx/internal/trace"
 )
 
@@ -219,6 +220,16 @@ type proc struct {
 	world   *World
 	crashAt float64
 	node    int
+
+	// Live-telemetry state, nil unless enabled. metrics samples counters
+	// at virtual-time intervals (Config.Metrics); flight keeps the
+	// bounded post-mortem event ring (fault plans, Config.FlightEvents).
+	// Both only *observe* charges the runtime already makes — separate
+	// accumulators, no change to any existing clock arithmetic — which
+	// is what keeps runs bitwise identical with telemetry on or off.
+	metrics *telemetry.Collector
+	flight  *telemetry.FlightRecorder
+	popOp   func() // preallocated pushOp closer (one alloc per rank, not per call)
 }
 
 // clamp truncates a clock target at the rank's crash time, reporting
@@ -255,6 +266,9 @@ func (p *proc) chargeCompute(s float64) {
 		p.timeline.Add(trace.Event{Kind: trace.EvCompute, T0: t0, T1: p.clock,
 			Region: p.profile.Current(), Op: p.op, Peer: -1})
 	}
+	if p.metrics != nil {
+		p.metrics.AdvanceCompute(t0, p.clock)
+	}
 	if died {
 		p.die()
 	}
@@ -276,6 +290,13 @@ func (p *proc) chargeCommAs(s float64, kind trace.EventKind, peer, bytes, tag in
 	if p.timeline != nil {
 		p.timeline.Add(trace.Event{Kind: kind, T0: t0, T1: p.clock,
 			Region: p.profile.Current(), Op: p.op, Peer: peer, Bytes: bytes, Tag: tag})
+	}
+	if p.metrics != nil {
+		if kind == trace.EvWait {
+			p.metrics.AdvanceWait(t0, p.clock)
+		} else {
+			p.metrics.AdvanceComm(t0, p.clock)
+		}
 	}
 	if died {
 		p.die()
@@ -304,6 +325,9 @@ func (p *proc) waitUntil(m *message) {
 			Region: p.profile.Current(), Op: p.op,
 			Peer: m.srcWorld, Bytes: m.bytes, Tag: m.tag, SendT: m.departure})
 	}
+	if p.metrics != nil {
+		p.metrics.AdvanceWait(t0, t1)
+	}
 	if died {
 		p.die()
 	}
@@ -319,10 +343,14 @@ func (p *proc) advanceTo(arrival float64) {
 		return
 	}
 	wait := arrival - p.clock
+	t0 := p.clock
 	p.clock = arrival
 	p.comm += wait
 	if p.profile != nil {
 		p.profile.AddComm(wait)
+	}
+	if p.metrics != nil {
+		p.metrics.AdvanceWait(t0, arrival)
 	}
 }
 
@@ -340,19 +368,31 @@ func (p *proc) countMessage(dstWorld, bytes int) {
 	cell.bytes += int64(bytes)
 }
 
-// sharedNoop is returned by pushOp when tracing is off or an outer
-// collective already holds the label, so call sites can always defer it.
+// sharedNoop is returned by pushOp when no telemetry consumer is active
+// or an outer collective already holds the label, so call sites can
+// always defer it.
 var sharedNoop = func() {}
 
 // pushOp labels subsequent events with a collective-operation name until
 // the returned function is called. The outermost label wins (a Split's
-// internal allgather stays labelled "comm_split").
+// internal allgather stays labelled "comm_split"). The outermost entry
+// is also where the metrics collective counter and the flight recorder
+// see the operation — nested building blocks are not double-counted.
 func (p *proc) pushOp(name string) func() {
-	if p.timeline == nil || p.op != "" {
+	if p.op != "" || (p.timeline == nil && p.metrics == nil && p.flight == nil) {
 		return sharedNoop
 	}
 	p.op = name
-	return func() { p.op = "" }
+	if p.metrics != nil {
+		p.metrics.Collective()
+	}
+	if p.flight != nil {
+		p.flight.Record(telemetry.FlightEvent{T: p.clock, Kind: telemetry.FlightCollective, Op: name})
+	}
+	if p.popOp == nil {
+		p.popOp = func() { p.op = "" }
+	}
+	return p.popOp
 }
 
 // Comm is a communicator: a group of ranks with a private message-matching
@@ -548,6 +588,13 @@ func (c *Comm) finishSend(to, tag int, m *message, chargedBytes int) {
 	} else {
 		m.arrival = departure + mach.TransferTime(srcWorld, dstWorld, chargedBytes)
 	}
+	if p := c.proc; p.metrics != nil {
+		p.metrics.Sent(chargedBytes)
+	}
+	if p := c.proc; p.flight != nil {
+		p.flight.Record(telemetry.FlightEvent{T: departure, Kind: telemetry.FlightSend,
+			Peer: dstWorld, Bytes: chargedBytes, Tag: tag})
+	}
 	c.world.boxes[dstWorld].put(m)
 }
 
@@ -608,6 +655,13 @@ func (c *Comm) recvRaw(from, tag int) *message {
 	// The jump to the arrival time is time this rank spent waiting.
 	c.proc.waitUntil(msg)
 	c.proc.chargeCommAs(c.world.machine.RecvOverhead, trace.EvRecv, msg.srcWorld, msg.bytes, msg.tag)
+	if p := c.proc; p.metrics != nil {
+		p.metrics.Received(uint64(msg.bytes), msg.arrival)
+	}
+	if p := c.proc; p.flight != nil {
+		p.flight.Record(telemetry.FlightEvent{T: p.clock, Kind: telemetry.FlightRecv,
+			Peer: msg.srcWorld, Bytes: msg.bytes, Tag: msg.tag})
+	}
 	return msg
 }
 
@@ -635,9 +689,11 @@ func (c *Comm) Send(to, tag int, data []float64) {
 // sorted by source rank (ties by arrival), with sources aligned.
 func (c *Comm) RecvAll(n, tag int) (data [][]float64, sources []int) {
 	type got struct {
-		src     int
-		arrival float64
-		payload []float64
+		src      int
+		srcWorld int
+		bytes    int
+		arrival  float64
+		payload  []float64
 	}
 	msgs := make([]got, 0, n)
 	var latest message // the message whose arrival completes the Waitall
@@ -646,7 +702,7 @@ func (c *Comm) RecvAll(n, tag int) (data [][]float64, sources []int) {
 		if m.payload != nil {
 			panic(fmt.Sprintf("mpi: RecvAll type mismatch: got %T, want []float64", m.payload))
 		}
-		msgs = append(msgs, got{m.src, m.arrival, m.f64})
+		msgs = append(msgs, got{m.src, m.srcWorld, m.bytes, m.arrival, m.f64})
 		if i == 0 || m.arrival > latest.arrival {
 			latest = *m
 		}
@@ -662,6 +718,19 @@ func (c *Comm) RecvAll(n, tag int) (data [][]float64, sources []int) {
 		}
 		return msgs[a].arrival < msgs[b].arrival
 	})
+	if p := c.proc; p.metrics != nil || p.flight != nil {
+		// All n receives complete at the Waitall's final clock; counting
+		// after the sort keeps the flight-recorder order deterministic.
+		for _, m := range msgs {
+			if p.metrics != nil {
+				p.metrics.Received(uint64(m.bytes), m.arrival)
+			}
+			if p.flight != nil {
+				p.flight.Record(telemetry.FlightEvent{T: p.clock, Kind: telemetry.FlightRecv,
+					Peer: m.srcWorld, Bytes: m.bytes, Tag: tag})
+			}
+		}
+	}
 	data = make([][]float64, n)
 	sources = make([]int, n)
 	for i, m := range msgs {
@@ -741,6 +810,14 @@ type Stats struct {
 	// rank×rank message/byte counts; both are nil unless Config.Trace.
 	Timelines  []*trace.Timeline
 	CommMatrix *trace.CommMatrix
+	// Metrics holds the per-rank virtual-time metric series; nil unless
+	// Config.Metrics was set.
+	Metrics *telemetry.RunSeries
+	// Flight holds the flight-recorder tails of a failed run: the dead
+	// ranks' last events when ranks died, or every rank's tail when an
+	// enabled recorder saw the run abort (watchdog, cancellation). Nil
+	// for successful runs and when recording was off.
+	Flight []telemetry.RankTail
 }
 
 // MaxClockRank returns the rank whose clock set Elapsed.
@@ -790,6 +867,7 @@ func (s *Stats) Summary() *trace.RunSummary {
 		msgs, bytes := s.CommMatrix.Totals()
 		sum.Comm = &trace.CommSummary{Messages: msgs, Bytes: bytes, Pairs: len(s.CommMatrix.Edges)}
 	}
+	sum.Flight = s.Flight
 	return sum
 }
 
@@ -895,6 +973,22 @@ type Config struct {
 	// ctx.Done(). Cancellation is a host-side race against completion
 	// by design; a run that finishes first returns normally.
 	Cancel <-chan struct{}
+	// Metrics enables the opt-in virtual-time metrics sampler: per-rank
+	// counters and gauges sampled at fixed virtual-time intervals into
+	// Stats.Metrics, with optional live snapshots via Config.Observer.
+	// Sampling only observes the charges the runtime already makes, so
+	// clocks, stats and traces are bitwise identical with metrics on or
+	// off (metrics_test.go enforces this differentially). On the
+	// analytic-collective fast path message counters cover only the
+	// point-to-point traffic — the replayed collectives move no real
+	// messages — while all time series remain exact.
+	Metrics *telemetry.Config
+	// FlightEvents controls the per-rank flight recorder, the bounded
+	// ring of recent sends/receives/collectives dumped into
+	// Stats.Flight when a run fails. > 0 sets the ring capacity; 0
+	// enables it automatically (default depth) whenever a fault plan is
+	// set; < 0 disables it entirely.
+	FlightEvents int
 }
 
 // ErrCanceled reports that a run was aborted through Config.Cancel
@@ -940,6 +1034,10 @@ func Run(size int, cfg Config, fn func(*Comm) error) (*Stats, error) {
 		plan:     plan,
 		deadAt:   make([]float64, size),
 	}
+	var collectors []*telemetry.Collector
+	if cfg.Metrics != nil {
+		collectors = telemetry.NewCollectors(size, cfg.Metrics)
+	}
 	for i := range w.boxes {
 		w.boxes[i] = newMailbox()
 		w.procs[i] = &proc{worldRank: i, world: w, crashAt: math.Inf(1), node: m.Node(i)}
@@ -953,6 +1051,12 @@ func Run(size int, cfg Config, fn func(*Comm) error) (*Stats, error) {
 		if cfg.Trace {
 			w.procs[i].timeline = trace.NewTimeline(i, cfg.TraceMaxEvents)
 			w.procs[i].comms = make(map[int]*commCell)
+		}
+		if cfg.Metrics != nil {
+			w.procs[i].metrics = collectors[i]
+		}
+		if cfg.FlightEvents > 0 || (plan != nil && cfg.FlightEvents == 0) {
+			w.procs[i].flight = telemetry.NewFlightRecorder(cfg.FlightEvents)
 		}
 	}
 
@@ -1116,5 +1220,46 @@ func Run(size int, cfg Config, fn func(*Comm) error) (*Stats, error) {
 	if st.CommMatrix != nil {
 		st.CommMatrix.Sort()
 	}
+	if cfg.Metrics != nil {
+		collectors := make([]*telemetry.Collector, size)
+		for i, p := range w.procs {
+			p.metrics.Finish(p.clock)
+			collectors[i] = p.metrics
+		}
+		st.Metrics = telemetry.Finalize(collectors)
+	}
+	if firstErr != nil {
+		st.Flight = w.flightTails()
+	}
 	return st, firstErr
+}
+
+// flightTails dumps the post-mortem trails of a failed run: the tails
+// of every dead rank (fault-plan crashes and detection cascades), or —
+// when the run failed with no deaths (watchdog, cancellation, abort) —
+// every recording rank's tail.
+func (w *World) flightTails() []telemetry.RankTail {
+	var tails []telemetry.RankTail
+	anyDead := false
+	for _, at := range w.deadAt {
+		if at >= 0 {
+			anyDead = true
+			break
+		}
+	}
+	for i, p := range w.procs {
+		if p.flight == nil {
+			continue
+		}
+		at := w.deadAt[i]
+		if anyDead && at < 0 {
+			continue
+		}
+		tail := telemetry.RankTail{Rank: i, Total: p.flight.Total(), Events: p.flight.Tail()}
+		if at >= 0 {
+			tail.FailedAt = at
+		}
+		tails = append(tails, tail)
+	}
+	return tails
 }

@@ -55,6 +55,7 @@ type Metrics struct {
 	queueDepth    func() int
 	queueCapacity func() int
 	cacheLen      func() int
+	registry      *Registry
 }
 
 // NewMetrics returns a Metrics wired to the given gauges.
@@ -66,6 +67,13 @@ func NewMetrics(queueDepth, queueCapacity, cacheLen func() int) *Metrics {
 		queueCapacity: queueCapacity,
 		cacheLen:      cacheLen,
 	}
+}
+
+// AttachRegistry wires the job-registry gauges into the exposition.
+func (m *Metrics) AttachRegistry(r *Registry) {
+	m.mu.Lock()
+	m.registry = r
+	m.mu.Unlock()
 }
 
 // Observe records one finished request.
@@ -151,4 +159,18 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	fmt.Fprintln(w, "# HELP cpxserve_cache_entries Completed artifacts retained.")
 	fmt.Fprintln(w, "# TYPE cpxserve_cache_entries gauge")
 	fmt.Fprintf(w, "cpxserve_cache_entries %d\n", m.cacheLen())
+	if m.registry != nil {
+		fmt.Fprintln(w, "# HELP cpxserve_jobs_active Jobs queued or running.")
+		fmt.Fprintln(w, "# TYPE cpxserve_jobs_active gauge")
+		fmt.Fprintf(w, "cpxserve_jobs_active %d\n", m.registry.Active())
+		fmt.Fprintln(w, "# HELP cpxserve_jobs_retained Registry entries retained for /v1/jobs.")
+		fmt.Fprintln(w, "# TYPE cpxserve_jobs_retained gauge")
+		fmt.Fprintf(w, "cpxserve_jobs_retained %d\n", m.registry.Retained())
+		fmt.Fprintln(w, "# HELP cpxserve_jobs_finished_total Jobs finished by terminal state.")
+		fmt.Fprintln(w, "# TYPE cpxserve_jobs_finished_total counter")
+		byState := m.registry.FinishedByState()
+		for _, state := range order.SortedKeys(byState) {
+			fmt.Fprintf(w, "cpxserve_jobs_finished_total{state=%q} %d\n", state, byState[state])
+		}
+	}
 }

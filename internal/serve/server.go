@@ -2,8 +2,11 @@ package serve
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"math"
 	"net/http"
 	"time"
@@ -11,6 +14,7 @@ import (
 	"cpx/internal/cluster"
 	"cpx/internal/mpi"
 	"cpx/internal/perfmodel"
+	"cpx/internal/telemetry"
 )
 
 // maxBodyBytes bounds request bodies; a full-engine scenario is a few
@@ -39,6 +43,13 @@ type Options struct {
 	// override (default 10m).
 	DefaultTimeout time.Duration
 	MaxTimeout     time.Duration
+	// Logger receives the structured request/job log. Defaults to a
+	// discard logger so embedding the server stays quiet; cmd/cpxserve
+	// passes a real one.
+	Logger *slog.Logger
+	// ProgressInterval is the virtual-time sampling period used to feed
+	// job progress for /v1/simulate (default telemetry.DefaultInterval).
+	ProgressInterval float64
 }
 
 func (o *Options) fill() {
@@ -57,6 +68,9 @@ func (o *Options) fill() {
 	if o.MaxTimeout <= 0 {
 		o.MaxTimeout = 10 * time.Minute
 	}
+	if o.Logger == nil {
+		o.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 }
 
 // Server is the cpxserve request layer: a mux over the model and
@@ -64,28 +78,38 @@ func (o *Options) fill() {
 // content-addressed cache. Create with New, expose via Handler, and
 // Close after the HTTP listener has shut down to drain the pool.
 type Server struct {
-	opts    Options
-	pool    *Pool
-	cache   *Cache
-	metrics *Metrics
-	mux     *http.ServeMux
+	opts     Options
+	pool     *Pool
+	cache    *Cache
+	metrics  *Metrics
+	registry *Registry
+	log      *slog.Logger
+	mux      *http.ServeMux
 }
 
-// New builds a Server with its pool, cache, metrics and routes.
+// New builds a Server with its pool, cache, registry, metrics and
+// routes.
 func New(opts Options) *Server {
 	opts.fill()
-	s := &Server{opts: opts, cache: NewCache()}
+	s := &Server{opts: opts, cache: NewCache(), registry: NewRegistry(), log: opts.Logger}
 	s.pool = NewPool(opts.Workers, opts.QueueLen)
 	s.metrics = NewMetrics(s.pool.Depth, s.pool.Capacity, s.cache.Len)
+	s.metrics.AttachRegistry(s.registry)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleJobs)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
 	s.mux.HandleFunc("POST /v1/fit", s.post("/v1/fit", s.runFit))
 	s.mux.HandleFunc("POST /v1/allocate", s.post("/v1/allocate", s.runAllocate))
 	s.mux.HandleFunc("POST /v1/speedup", s.post("/v1/speedup", s.runSpeedup))
 	s.mux.HandleFunc("POST /v1/simulate", s.post("/v1/simulate", s.runSimulate))
 	return s
 }
+
+// Registry exposes the job registry (for tests and the smoke runner).
+func (s *Server) Registry() *Registry { return s.registry }
 
 // Handler returns the HTTP handler tree.
 func (s *Server) Handler() http.Handler { return s.mux }
@@ -123,9 +147,26 @@ func badRequest(err error) error {
 }
 
 // endpointFunc decodes one endpoint's spec from the body and returns
-// the job to run for it. Decode errors surface before any pool or
-// cache interaction.
-type endpointFunc func(r *http.Request) (spec any, run func(ctx context.Context) (any, error), err error)
+// the computation to run for it. Decode errors surface before any pool
+// or cache interaction. The job is the request's registry entry, for
+// endpoints that report live progress.
+type endpointFunc func(r *http.Request, jb *Job) (spec any, run func(ctx context.Context) (any, error), err error)
+
+// jsonError writes a structured error body carrying the job ID, so
+// every failure — including backpressure 429s — is correlatable with
+// the registry, logs and metrics.
+func (s *Server) jsonError(w http.ResponseWriter, status int, jobID string, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	if jobID != "" {
+		w.Header().Set("X-Job-ID", jobID)
+	}
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(struct {
+		Error  string `json:"error"`
+		JobID  string `json:"jobId,omitempty"`
+		Status int    `json:"status"`
+	}{err.Error(), jobID, status})
+}
 
 // requestCtx derives the job-wait deadline: the client's ?timeout=
 // (clamped to MaxTimeout) or the server default, on top of the
@@ -153,37 +194,50 @@ func (s *Server) post(endpoint string, ep endpointFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		//lint:allow determinism request latency metrics measure host time by definition; nothing feeds the virtual clock
 		start := time.Now()
+		jb := s.registry.Create(endpoint)
+		log := s.log.With("job", jb.ID(), "endpoint", endpoint)
+		log.Debug("job admitted")
 		code := http.StatusOK
+		state := JobDone
 		outcome := CacheOutcome("")
+		var reqErr error
 		defer func() {
+			jb.Finish(state, code, outcome, reqErr)
 			//lint:allow determinism request latency metrics measure host time by definition; nothing feeds the virtual clock
-			s.metrics.Observe(endpoint, code, time.Since(start).Seconds(), outcome)
+			elapsed := time.Since(start).Seconds()
+			s.metrics.Observe(endpoint, code, elapsed, outcome)
+			log.Info("job finished", "state", state, "code", code,
+				"cache", string(outcome), "seconds", elapsed)
 		}()
-		fail := func(status int, err error) {
+		fail := func(status int, failState string, err error) {
 			code = status
-			http.Error(w, err.Error(), status)
+			state = failState
+			reqErr = err
+			s.jsonError(w, status, jb.ID(), err)
 		}
 
 		r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
-		spec, run, err := ep(r)
+		spec, run, err := ep(r, jb)
 		if err != nil {
-			fail(http.StatusBadRequest, err)
+			fail(http.StatusBadRequest, JobFailed, err)
 			return
 		}
 		canonical, err := canonicalize(spec)
 		if err != nil {
-			fail(http.StatusInternalServerError, err)
+			fail(http.StatusInternalServerError, JobFailed, err)
 			return
 		}
 		key := cacheKey(endpoint, canonical)
 		ctx, cancel, err := s.requestCtx(r)
 		if err != nil {
-			fail(http.StatusBadRequest, err)
+			fail(http.StatusBadRequest, JobFailed, err)
 			return
 		}
 		defer cancel()
 
 		artifact, oc, err := s.cache.Do(ctx, key, s.pool.TrySubmit, func(jobCtx context.Context) ([]byte, error) {
+			jb.Start()
+			log.Debug("job running")
 			out, rerr := run(jobCtx)
 			if rerr != nil {
 				return nil, rerr
@@ -196,23 +250,24 @@ func (s *Server) post(endpoint string, ep endpointFunc) http.HandlerFunc {
 		case err == nil:
 			w.Header().Set("Content-Type", "application/json")
 			w.Header().Set("X-Cache", string(oc))
+			w.Header().Set("X-Job-ID", jb.ID())
 			w.Write(artifact)
 		case errors.Is(err, ErrQueueFull):
 			w.Header().Set("Retry-After", "1")
-			fail(http.StatusTooManyRequests, errors.New("job queue full; retry later"))
+			fail(http.StatusTooManyRequests, JobRejected, errors.New("job queue full; retry later"))
 		case errors.Is(err, context.DeadlineExceeded):
-			fail(http.StatusGatewayTimeout, errors.New("request deadline exceeded; the job was cancelled"))
+			fail(http.StatusGatewayTimeout, JobCanceled, errors.New("request deadline exceeded; the job was cancelled"))
 		case errors.Is(err, context.Canceled):
-			fail(statusClientClosed, errors.New("client closed request"))
+			fail(statusClientClosed, JobCanceled, errors.New("client closed request"))
 		case errors.As(err, &br):
-			fail(http.StatusBadRequest, err)
+			fail(http.StatusBadRequest, JobFailed, err)
 		default:
-			fail(http.StatusInternalServerError, err)
+			fail(http.StatusInternalServerError, JobFailed, err)
 		}
 	}
 }
 
-func (s *Server) runFit(r *http.Request) (any, func(context.Context) (any, error), error) {
+func (s *Server) runFit(r *http.Request, _ *Job) (any, func(context.Context) (any, error), error) {
 	var req FitRequest
 	if err := decodeStrict(r.Body, &req); err != nil {
 		return nil, nil, err
@@ -275,7 +330,7 @@ func allocationResponse(budget int, alloc *perfmodel.Allocation) *AllocateRespon
 	return resp
 }
 
-func (s *Server) runAllocate(r *http.Request) (any, func(context.Context) (any, error), error) {
+func (s *Server) runAllocate(r *http.Request, _ *Job) (any, func(context.Context) (any, error), error) {
 	var req AllocateRequest
 	if err := decodeStrict(r.Body, &req); err != nil {
 		return nil, nil, err
@@ -289,7 +344,7 @@ func (s *Server) runAllocate(r *http.Request) (any, func(context.Context) (any, 
 	}, nil
 }
 
-func (s *Server) runSpeedup(r *http.Request) (any, func(context.Context) (any, error), error) {
+func (s *Server) runSpeedup(r *http.Request, _ *Job) (any, func(context.Context) (any, error), error) {
 	var req SpeedupRequest
 	if err := decodeStrict(r.Body, &req); err != nil {
 		return nil, nil, err
@@ -316,7 +371,7 @@ func (s *Server) runSpeedup(r *http.Request) (any, func(context.Context) (any, e
 	}, nil
 }
 
-func (s *Server) runSimulate(r *http.Request) (any, func(context.Context) (any, error), error) {
+func (s *Server) runSimulate(r *http.Request, jb *Job) (any, func(context.Context) (any, error), error) {
 	var req SimulateRequest
 	if err := decodeStrict(r.Body, &req); err != nil {
 		return nil, nil, err
@@ -333,6 +388,16 @@ func (s *Server) runSimulate(r *http.Request) (any, func(context.Context) (any, 
 			return nil, badRequest(err)
 		}
 		cfg := mpi.Config{Machine: s.opts.Machine, FastCollectives: req.FastColl}
+		// Feed the job's live virtual-time progress from the metrics
+		// sampler. Sampling never perturbs the simulation (clocks and
+		// results stay bitwise identical), so cached artifacts are the
+		// same with or without a watcher. Storage is kept minimal: the
+		// progress feed needs the observer, not the series.
+		cfg.Metrics = &telemetry.Config{
+			Interval:   s.opts.ProgressInterval,
+			MaxSamples: 1,
+			Observer:   func(rank int, sm telemetry.Sample) { jb.ObserveProgress(sm.T) },
+		}
 		rep, err := sim.RunContext(jobCtx, cfg)
 		if err != nil {
 			return nil, err

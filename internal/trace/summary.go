@@ -3,6 +3,8 @@ package trace
 import (
 	"encoding/json"
 	"io"
+
+	"cpx/internal/telemetry"
 )
 
 // RegionSummary is one region row of a machine-readable run summary.
@@ -54,6 +56,10 @@ type RunSummary struct {
 	Regions      []RegionSummary `json:"regions,omitempty"`
 	CriticalPath *PathSummary    `json:"critical_path,omitempty"`
 	Comm         *CommSummary    `json:"comm_matrix,omitempty"`
+	// Flight carries the flight-recorder tails of a failed run — the
+	// post-mortem trail of each dead rank's last sends, receives and
+	// collectives with their virtual timestamps.
+	Flight []telemetry.RankTail `json:"flight_recorder,omitempty"`
 }
 
 // WriteJSON emits the summary as indented JSON.
