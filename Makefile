@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: check vet lint build test test-race race serve-smoke telemetry-smoke bench-smoke bench-trace bench-mpi bench-fault bench-serve bench-telemetry
+.PHONY: check vet lint build test test-race race serve-smoke telemetry-smoke sched-smoke bench-smoke bench-trace bench-mpi bench-fault bench-serve bench-telemetry bench-sched
 
-check: vet lint build test race serve-smoke telemetry-smoke bench-smoke bench-fault
+check: vet lint build test race serve-smoke telemetry-smoke sched-smoke bench-smoke bench-fault
 
 vet:
 	$(GO) vet ./...
@@ -47,6 +47,11 @@ serve-smoke:
 telemetry-smoke:
 	$(GO) run ./cmd/cpxserve -smoke -log json -v
 
+# A tiny coupled run on the event-driven executor (Config.EventDriven):
+# end-to-end coverage of the coroutine runtime through the real CLI.
+sched-smoke:
+	$(GO) run ./cmd/cpxsim -demo -sched event
+
 # One iteration of every runtime benchmark: catches benchmarks that no
 # longer compile or run, without the cost of a real measurement.
 bench-smoke:
@@ -69,6 +74,12 @@ bench-fault:
 # BENCH_telemetry.json (metrics on vs off at 8/64/512 ranks).
 bench-telemetry:
 	$(GO) test -run '^$$' -bench 'BenchmarkRunMetrics' -benchmem -count 5 ./internal/mpi/
+
+# Re-measure the executor comparison recorded in BENCH_sched.json
+# (goroutine-per-rank vs the event-driven loop at 8-4096 ranks);
+# `cpxbench -exp sched-scaling` prints the same comparison as a table.
+bench-sched:
+	$(GO) test -run '^$$' -bench 'BenchmarkRunSched' -benchmem -benchtime 30x -count 5 ./internal/mpi/
 
 # Re-measure the serving baselines recorded in BENCH_serve.json (cached
 # vs uncached request path) and BENCH_perfmodel.json (Alg. 1 fast path

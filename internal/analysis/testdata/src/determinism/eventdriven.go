@@ -1,0 +1,51 @@
+// Event-driven hot-path fixture: this file carries the pragma below, so
+// the determinism analyzer additionally forbids goroutine spawns,
+// channel traffic and sync-package locking here. The sibling fixture
+// files carry no pragma, so their (absent) concurrency is never checked
+// — only the classic clock/rand/map rules apply there.
+//
+//lint:eventdriven
+package determinism
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+func spawns() {
+	go sink() // want `go statement in an event-driven hot-path file`
+}
+
+func channelTraffic(ch chan int) {
+	ch <- 1    // want `channel send in an event-driven hot-path file`
+	sink(<-ch) // want `channel receive in an event-driven hot-path file`
+	select {   // want `select in an event-driven hot-path file`
+	default:
+	}
+	c := make(chan int, 4) // want `make of a channel in an event-driven hot-path file`
+	close(c)               // want `close of a channel in an event-driven hot-path file`
+}
+
+func locking(mu *sync.Mutex, wg *sync.WaitGroup, once *sync.Once) {
+	mu.Lock()             // want `sync\.Mutex\.Lock call in an event-driven hot-path file`
+	mu.Unlock()           // want `sync\.Mutex\.Unlock call in an event-driven hot-path file`
+	wg.Wait()             // want `sync\.WaitGroup\.Wait call in an event-driven hot-path file`
+	once.Do(func() {})    // want `sync\.Once\.Do call in an event-driven hot-path file`
+	cond := sync.NewCond(mu) // want `sync\.NewCond call in an event-driven hot-path file`
+	sink(cond)
+}
+
+func atomicsAreFine(flag *atomic.Bool) {
+	// The abort flag is the one sanctioned cross-thread signal.
+	if flag.Load() {
+		flag.Store(false)
+	}
+	var n int64
+	atomic.AddInt64(&n, 1)
+}
+
+func plainSlicesAreFine() {
+	// Non-channel make stays legal.
+	buf := make([]int, 8)
+	sink(buf)
+}

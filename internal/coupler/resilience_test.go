@@ -190,3 +190,48 @@ func TestMapperCheckpointRoundTrip(t *testing.T) {
 		t.Fatal("checkpoint aliases restored mapper state")
 	}
 }
+
+// TestResilienceIdenticalAcrossExecutors: a full checkpoint/restart run
+// with an injected crash must produce identical failure reports, virtual
+// elapsed and bitwise-identical final physics state whether the ranks
+// run as goroutines or as coroutines on the discrete-event executor.
+func TestResilienceIdenticalAcrossExecutors(t *testing.T) {
+	base, err := resilienceSim().RunResilient(runCfg(), ResilienceOptions{CheckpointEvery: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := &fault.Plan{Crashes: []fault.Crash{{Rank: 2, At: 0.9 * base.Elapsed}}}
+	opts := ResilienceOptions{Plan: plan, CheckpointEvery: 2}
+
+	gor, err := resilienceSim().RunResilient(runCfg(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evCfg := runCfg()
+	evCfg.EventDriven = true
+	ev, err := resilienceSim().RunResilient(evCfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if gor.Elapsed != ev.Elapsed {
+		t.Errorf("elapsed differs: goroutine %v, event %v", gor.Elapsed, ev.Elapsed)
+	}
+	if gor.Attempts != ev.Attempts || gor.Overhead != ev.Overhead ||
+		gor.Rework != ev.Rework || gor.Detection != ev.Detection || gor.Restart != ev.Restart {
+		t.Errorf("recovery accounting differs:\ngoroutine: %+v\nevent:     %+v", gor, ev)
+	}
+	if len(gor.Failures) != len(ev.Failures) {
+		t.Fatalf("failures differ: %+v vs %+v", gor.Failures, ev.Failures)
+	}
+	for i := range gor.Failures {
+		if gor.Failures[i] != ev.Failures[i] {
+			t.Errorf("failure %d differs: %+v vs %+v", i, gor.Failures[i], ev.Failures[i])
+		}
+	}
+	for r := range gor.RankDigests {
+		if gor.RankDigests[r] != ev.RankDigests[r] {
+			t.Errorf("rank %d digest %#x (goroutine) != %#x (event)", r, gor.RankDigests[r], ev.RankDigests[r])
+		}
+	}
+}

@@ -88,6 +88,10 @@ type Options struct {
 	// severalfold faster. Ignored on traced coupled runs, which need the
 	// full event timelines.
 	FastCollectives bool
+	// EventDriven runs ranks on the single-threaded discrete-event
+	// executor (mpi.Config.EventDriven) instead of goroutine-per-rank.
+	// Virtual-time results are bitwise identical.
+	EventDriven bool
 }
 
 // DefaultOptions runs the full sweeps on the ARCHER2 model.
@@ -101,7 +105,7 @@ func (o Options) mpiConfig(profile bool) mpi.Config {
 		wd = 2 * time.Hour
 	}
 	return mpi.Config{Machine: o.Machine, Profile: profile, Watchdog: wd,
-		FastCollectives: o.FastCollectives}
+		FastCollectives: o.FastCollectives, EventDriven: o.EventDriven}
 }
 
 // coupledConfig is mpiConfig plus event tracing when Options.Trace is

@@ -114,6 +114,23 @@ func TestSensitivityTable(t *testing.T) {
 	}
 }
 
+func TestSchedScalingQuick(t *testing.T) {
+	tb, err := quick().SchedScaling()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 2 {
+		t.Fatalf("sched-scaling rows = %d, want 2 in quick mode", len(tb.Rows))
+	}
+	// SchedScaling itself asserts virtual-time identity across the two
+	// executors before emitting a row; here just sanity-check the shape.
+	for _, row := range tb.Rows {
+		if len(row) != 5 {
+			t.Fatalf("sched-scaling row %v has %d cells, want 5", row, len(row))
+		}
+	}
+}
+
 func TestAMGAblation(t *testing.T) {
 	tb, err := quick().AMGAblation()
 	if err != nil {

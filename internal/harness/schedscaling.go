@@ -1,0 +1,82 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"cpx/internal/cluster"
+	"cpx/internal/mpi"
+)
+
+// SchedScaling compares the host cost of the two rank executors —
+// goroutine-per-rank and the single-threaded discrete-event loop
+// (mpi.Config.EventDriven) — on a collective-heavy workload across rank
+// counts, and verifies along the way that the virtual run-times agree
+// exactly (they must: the executors are differentially tested to be
+// bitwise identical). Host wall-clock is the dependent variable here,
+// not a determinism leak: the experiment measures the simulator itself.
+// `cpxbench -exp sched-scaling` prints the table; BENCH_sched.json
+// records the benchmark-grade medians.
+func (o Options) SchedScaling() (*Table, error) {
+	ranks := []int{8, 64, 512, 4096}
+	reps := 5
+	if o.Quick {
+		ranks = []int{8, 64}
+		reps = 2
+	}
+	t := &Table{
+		ID:      "sched-scaling",
+		Title:   "executor scaling on the collectives workload (best-of-reps host ms per run, SmallCluster, fast collectives)",
+		Headers: []string{"ranks", "goroutine(ms)", "event(ms)", "event_speedup", "virtual(s)"},
+		Notes: []string{
+			"workload: 10x (compute + Allreduce(8 floats, Sum) + Bcast + Barrier) per rank",
+			"virtual(s) is asserted identical across executors before a row is emitted",
+		},
+	}
+	body := func(c *mpi.Comm) error {
+		buf := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+		for i := 0; i < 10; i++ {
+			c.ComputeSeconds(1e-6 * float64(c.Rank()%5+1))
+			c.Allreduce(buf, mpi.Sum)
+			c.Bcast(i%c.Size(), buf)
+			c.Barrier()
+		}
+		return nil
+	}
+	for _, p := range ranks {
+		var hostMS, virtual [2]float64
+		for si, ev := range [2]bool{false, true} {
+			cfg := mpi.Config{
+				Machine:         cluster.SmallCluster(),
+				Watchdog:        o.Watchdog,
+				FastCollectives: true,
+				EventDriven:     ev,
+			}
+			if cfg.Watchdog == 0 {
+				cfg.Watchdog = 2 * time.Hour
+			}
+			best := math.Inf(1)
+			for r := 0; r < reps; r++ {
+				start := time.Now() //lint:allow determinism host wall-clock is this experiment's measured quantity
+				st, err := mpi.Run(p, cfg, body)
+				if err != nil {
+					return nil, fmt.Errorf("sched-scaling %d ranks (event=%v): %w", p, ev, err)
+				}
+				ms := time.Since(start).Seconds() * 1e3 //lint:allow determinism host wall-clock is this experiment's measured quantity
+				if ms < best {
+					best = ms
+				}
+				virtual[si] = st.Elapsed
+			}
+			hostMS[si] = best
+			o.logf("sched-scaling: %d ranks event=%v: %.2f ms/run", p, ev, best)
+		}
+		if virtual[0] != virtual[1] {
+			return nil, fmt.Errorf("sched-scaling: virtual time diverged at %d ranks: goroutine %v vs event %v",
+				p, virtual[0], virtual[1])
+		}
+		t.AddRow(d(p), f2(hostMS[0]), f2(hostMS[1]), f2(hostMS[0]/hostMS[1]), fmt.Sprintf("%.6f", virtual[0]))
+	}
+	return t, nil
+}

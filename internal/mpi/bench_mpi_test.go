@@ -75,3 +75,24 @@ func BenchmarkRunCollectives(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkRunSched compares the goroutine executor against the
+// discrete-event executor on the collective-heavy workload at fig8/fig9
+// rank counts, both with the analytic fast path on. Recorded in
+// BENCH_sched.json; `make bench-sched` re-measures.
+func BenchmarkRunSched(b *testing.B) {
+	for _, p := range []int{8, 64, 512, 4096} {
+		for _, sched := range []string{"goroutine", "event"} {
+			b.Run(fmt.Sprintf("ranks=%d/sched=%s", p, sched), func(b *testing.B) {
+				cfg := benchMPIConfig(true)
+				cfg.EventDriven = sched == "event"
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := Run(p, cfg, benchCollectives); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

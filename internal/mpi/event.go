@@ -1,0 +1,303 @@
+// Event-driven executor (Config.EventDriven). One host goroutine drives
+// every simulated rank as a resumable coroutine (iter.Pull): a blocking
+// operation parks the rank on its wait condition and yields back to the
+// loop, which resumes whichever rank the next virtual-time event makes
+// runnable. The hot path takes no locks and signals no condition
+// variables — delivery appends to the receiver's mailbox FIFO and, when
+// the receiver is parked on a matching pattern, pushes one entry onto
+// the event heap. The only cross-thread traffic is the atomic abort
+// flag, set by the watchdog/cancel watchers and polled by the loop
+// between resumes; all wakeups happen on the loop thread.
+//
+// Scheduling order is pure policy, not semantics: per-rank clocks depend
+// only on each rank's program order and on sender-stamped arrival times,
+// so any deterministic resume order yields clocks, Stats, traces and
+// metric series bitwise identical to the goroutine runtime's
+// (event_test.go enforces this differentially). Two queues implement
+// that policy: a min-(time, rank) binary heap for singleton wakeups
+// (message arrivals, startup, death re-probes) and a FIFO cohort ring
+// for station completions, which resume all members of a finished
+// collective in rank order without churning the heap.
+//
+//lint:eventdriven
+package mpi
+
+import (
+	"fmt"
+	"iter"
+
+	"cpx/internal/fault"
+)
+
+// evState is one rank's scheduling state.
+type evState uint8
+
+const (
+	evRunnable evState = iota
+	evRunning
+	evParkedRecv // blocked in take; wait pattern in want*
+	evParkedColl // parked at a fast-collective station
+	evDone
+)
+
+// evRank is one rank's coroutine handle plus scheduling state.
+//
+// Queue invariant: a rank has at most one live entry across the heap and
+// the cohort ring. Wakeups are only issued for parked ranks, a parked
+// rank is never queued (it was dequeued before it ran and parked), and a
+// queued rank is evRunnable until the loop pops and runs it.
+type evRank struct {
+	state  evState
+	resume func() (struct{}, bool)
+	stop   func()
+	yield  func(struct{}) bool
+	// Receive wait pattern, valid while state == evParkedRecv.
+	wantCtx, wantSrc, wantTag int
+}
+
+// park yields the rank's coroutine back to the loop with the given
+// parked state. It returns when the loop resumes the rank; if the
+// executor is tearing down instead (yield reports the consumer is gone),
+// the rank unwinds through the standard abort path.
+func (er *evRank) park(state evState) {
+	er.state = state
+	if !er.yield(struct{}{}) {
+		panic(errAborted)
+	}
+}
+
+// growStack forces a fresh coroutine's stack past the runtime's initial
+// segment in one shot, while only a couple of tiny frames are live: a
+// single oversized frame makes newstack size the stack once (doubling
+// until the frame fits) and copystack move a few hundred bytes, instead
+// of two or three incremental growths firing mid-run under every rank's
+// first deep rendezvous call chain — at 512+ ranks those growths are a
+// measurable slice of a whole run.
+//
+//go:noinline
+func growStack(n int) byte {
+	var pad [3 << 10]byte
+	pad[0] = byte(n)
+	return pad[n]
+}
+
+// evItem is one event-heap entry: resume rank at virtual time t.
+type evItem struct {
+	t    float64
+	rank int32
+}
+
+func (it evItem) before(o evItem) bool {
+	if it.t != o.t {
+		return it.t < o.t
+	}
+	return it.rank < o.rank
+}
+
+// eventLoop is the executor state: the rank coroutines and the two ready
+// queues.
+type eventLoop struct {
+	w     *World
+	ranks []evRank
+	heap  []evItem // min-(t, rank) heap: singleton wakeups
+	// cohort is the FIFO ring of station-completion wakeups, drained
+	// before the heap so a finished collective's members resume in rank
+	// order without p heap operations per collective.
+	cohort     []int32
+	cohortHead int
+	live       int
+}
+
+func newEventLoop(w *World, size int) *eventLoop {
+	return &eventLoop{w: w, ranks: make([]evRank, size)}
+}
+
+// run drives every rank coroutine to completion on the calling
+// goroutine. errs is the per-rank outcome slice shared with Run.
+func (ev *eventLoop) run(fn func(*Comm) error, errs []error) {
+	w := ev.w
+	for r := range ev.ranks {
+		rank := r
+		er := &ev.ranks[r]
+		er.resume, er.stop = iter.Pull(func(yield func(struct{}) bool) {
+			er.yield = yield
+			growStack(6)
+			w.rankBody(rank, fn, errs)
+		})
+		// Seed the heap directly: all ranks start at t=0 in rank order,
+		// which is already a valid min-heap layout.
+		ev.heap = append(ev.heap, evItem{0, int32(rank)})
+	}
+	ev.live = len(ev.ranks)
+	abortDrained := false
+	for ev.live > 0 {
+		if w.aborted() && !abortDrained {
+			// Wake every parked rank exactly once so it observes the abort
+			// and unwinds; post-abort, blocking sites panic before parking
+			// again, so one drain suffices.
+			abortDrained = true
+			ev.wakeAllParked()
+		}
+		rank, ok := ev.next()
+		if !ok {
+			// Live ranks remain but none is runnable and no event is
+			// pending: no future wakeup can exist, so the program is
+			// deadlocked. The goroutine runtime would stall here until the
+			// watchdog fires; the event loop can prove the condition and
+			// fail immediately.
+			w.fail(ev.deadlockError())
+			continue
+		}
+		er := &ev.ranks[rank]
+		er.state = evRunning
+		if _, more := er.resume(); !more {
+			er.state = evDone
+			ev.live--
+		}
+	}
+	for r := range ev.ranks {
+		ev.ranks[r].stop()
+	}
+}
+
+// next pops the next runnable rank: cohort FIFO first, then the heap.
+func (ev *eventLoop) next() (int, bool) {
+	for ev.cohortHead < len(ev.cohort) {
+		r := ev.cohort[ev.cohortHead]
+		ev.cohortHead++
+		if ev.cohortHead == len(ev.cohort) {
+			ev.cohort = ev.cohort[:0]
+			ev.cohortHead = 0
+		}
+		if ev.ranks[r].state == evRunnable {
+			return int(r), true
+		}
+	}
+	for len(ev.heap) > 0 {
+		r := ev.popHeap()
+		if ev.ranks[r].state == evRunnable {
+			return int(r), true
+		}
+	}
+	return 0, false
+}
+
+// wake marks a parked rank runnable at virtual time t via the heap.
+func (ev *eventLoop) wake(rank int32, t float64) {
+	ev.ranks[rank].state = evRunnable
+	ev.pushHeap(t, rank)
+}
+
+// wakeCohort marks a parked rank runnable via the FIFO ring.
+func (ev *eventLoop) wakeCohort(rank int32) {
+	ev.ranks[rank].state = evRunnable
+	ev.cohort = append(ev.cohort, rank)
+}
+
+// wakeRecvParked re-probes every receive-blocked rank after a death
+// record, mirroring the goroutine runtime's mailbox interrupt broadcast.
+func (ev *eventLoop) wakeRecvParked() {
+	for r := range ev.ranks {
+		if ev.ranks[r].state == evParkedRecv {
+			ev.wake(int32(r), ev.w.procs[r].clock)
+		}
+	}
+}
+
+// wakeAllParked wakes every parked rank (abort drain).
+func (ev *eventLoop) wakeAllParked() {
+	for r := range ev.ranks {
+		if s := ev.ranks[r].state; s == evParkedRecv || s == evParkedColl {
+			ev.wake(int32(r), ev.w.procs[r].clock)
+		}
+	}
+}
+
+// deliver appends a message to the destination mailbox and wakes the
+// receiver if it is parked on a matching pattern. Runs on the loop
+// thread (inside the sending rank's resume), so no locking is needed.
+func (ev *eventLoop) deliver(dst int, m *message) {
+	ev.w.boxes[dst].putDirect(m)
+	er := &ev.ranks[dst]
+	if er.state == evParkedRecv && m.ctx == er.wantCtx && match(er.wantSrc, er.wantTag, m) {
+		ev.wake(int32(dst), m.arrival)
+	}
+}
+
+// take is the event-mode blocking receive: drain the mailbox, probe
+// failure detection, then park on the wait pattern until a matching
+// delivery (or a death record, or an abort) wakes the rank.
+func (ev *eventLoop) take(rank, ctx, src, tag int, deadCheck func() *fault.RankFailure) (*message, *fault.RankFailure) {
+	b := ev.w.boxes[rank]
+	er := &ev.ranks[rank]
+	for {
+		if m := b.tryTake(ctx, src, tag); m != nil {
+			return m, nil
+		}
+		if ev.w.aborted() {
+			panic(errAborted)
+		}
+		if deadCheck != nil {
+			if rf := deadCheck(); rf != nil {
+				return nil, rf
+			}
+		}
+		er.wantCtx, er.wantSrc, er.wantTag = ctx, src, tag
+		er.park(evParkedRecv)
+	}
+}
+
+// deadlockError describes the stuck wait set.
+func (ev *eventLoop) deadlockError() error {
+	recv, coll := 0, 0
+	for r := range ev.ranks {
+		switch ev.ranks[r].state {
+		case evParkedRecv:
+			recv++
+		case evParkedColl:
+			coll++
+		}
+	}
+	return fmt.Errorf("mpi: deadlock: %d rank(s) blocked in receives and %d in collectives with no pending event", recv, coll)
+}
+
+// ---- event heap ------------------------------------------------------------
+
+func (ev *eventLoop) pushHeap(t float64, rank int32) {
+	h := append(ev.heap, evItem{t, rank})
+	for i := len(h) - 1; i > 0; {
+		p := (i - 1) / 2
+		if !h[i].before(h[p]) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+	ev.heap = h
+}
+
+func (ev *eventLoop) popHeap() int32 {
+	h := ev.heap
+	top := h[0].rank
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = evItem{}
+	h = h[:n]
+	ev.heap = h
+	for i := 0; ; {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && h[r].before(h[l]) {
+			m = r
+		}
+		if !h[m].before(h[i]) {
+			break
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+	return top
+}

@@ -1,0 +1,289 @@
+package mpi
+
+import (
+	"errors"
+	"reflect"
+	"runtime"
+	"strings"
+	"testing"
+
+	"cpx/internal/cluster"
+	"cpx/internal/fault"
+)
+
+func evCfg(base Config) Config {
+	base.EventDriven = true
+	return base
+}
+
+// TestEventDrivenBitwiseIdentical is the executor acceptance test: the
+// discrete-event executor must reproduce the goroutine runtime's
+// per-rank clocks, accounting and results bit for bit, on both the
+// message-level and the analytic-collective paths, including
+// non-power-of-two sizes and Split subcommunicators.
+func TestEventDrivenBitwiseIdentical(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 5, 8, 13, 16} {
+		for _, base := range []Config{testCfg(), fastCfg()} {
+			label := "event vs goroutine"
+			if base.FastCollectives {
+				label += " (fastcoll)"
+			}
+			gor, gorSums := runMixed(t, p, base)
+			ev, evSums := runMixed(t, p, evCfg(base))
+			assertStatsIdentical(t, label, gor, ev, gorSums, evSums)
+		}
+	}
+}
+
+// TestEventDrivenTraceIdentical: with tracing on (which forces
+// message-level collectives), the event executor must produce identical
+// timelines, comm matrices and run summaries — per-rank event order is
+// program order, not host scheduling order, under either executor.
+func TestEventDrivenTraceIdentical(t *testing.T) {
+	const p = 8
+	base := testCfg()
+	base.Trace = true
+	gor, gorSums := runMixed(t, p, base)
+	ev, evSums := runMixed(t, p, evCfg(base))
+	assertStatsIdentical(t, "trace event vs goroutine", gor, ev, gorSums, evSums)
+	for r := range gor.Timelines {
+		if !reflect.DeepEqual(gor.Timelines[r], ev.Timelines[r]) {
+			t.Errorf("rank %d timeline differs between executors", r)
+		}
+		if !reflect.DeepEqual(gor.Profiles[r], ev.Profiles[r]) {
+			t.Errorf("rank %d profile differs between executors", r)
+		}
+	}
+	if !reflect.DeepEqual(gor.CommMatrix, ev.CommMatrix) {
+		t.Error("comm matrix differs between executors")
+	}
+	if a, b := traceSummaryJSON(t, gor), traceSummaryJSON(t, ev); a != b {
+		t.Errorf("run summaries differ:\ngoroutine: %s\nevent:     %s", a, b)
+	}
+}
+
+// TestEventDrivenMetricsIdentical: the virtual-time metrics series is a
+// pure function of the charges, so the executors must sample identical
+// series — on the message-level path and on the analytic fast path
+// (where sampling disables the bare replay but not the stations).
+func TestEventDrivenMetricsIdentical(t *testing.T) {
+	const p = 8
+	for _, base := range []Config{testCfg(), fastCfg()} {
+		cfg := metricsCfg(base)
+		gor, gorSums := runMixed(t, p, cfg)
+		ev, evSums := runMixed(t, p, evCfg(cfg))
+		assertStatsIdentical(t, "metrics event vs goroutine", gor, ev, gorSums, evSums)
+		if !reflect.DeepEqual(gor.Metrics, ev.Metrics) {
+			t.Errorf("metric series differ between executors (fastcoll=%v)", base.FastCollectives)
+		}
+	}
+}
+
+// TestEventDrivenProfileIdentical covers the analytic path with
+// profiling on: profiles are per-charge observers, so they force the
+// observed (non-bare) replay under both executors.
+func TestEventDrivenProfileIdentical(t *testing.T) {
+	prog := func(c *Comm) error {
+		c.Profile().Push("solve")
+		c.ComputeSeconds(1e-4 * float64(c.Rank()+1))
+		c.Allreduce([]float64{1, 2}, Sum)
+		c.Barrier()
+		c.Profile().Pop()
+		return nil
+	}
+	cfg := fastCfg()
+	cfg.Profile = true
+	gor, err := Run(6, cfg, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := Run(6, evCfg(cfg), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range gor.Profiles {
+		ge, ee := gor.Profiles[r].Entry("solve"), ev.Profiles[r].Entry("solve")
+		if ge.Comm != ee.Comm || ge.Compute != ee.Compute {
+			t.Errorf("rank %d profile: goroutine %+v event %+v", r, ge, ee)
+		}
+	}
+}
+
+// TestEventDrivenFaultRunsIdentical: under a fault plan the executors
+// must agree on every clock, every detection and the flight-recorder
+// tails — deaths, detections and cascades are virtual-time facts, not
+// host-scheduling ones.
+func TestEventDrivenFaultRunsIdentical(t *testing.T) {
+	plan, err := fault.NewPlan(fault.Spec{
+		Seed: 11, Ranks: 6, Horizon: 2, MTBF: 0.8,
+		StragglerEvery: 0.5, LinkEvery: 0.7, Machine: cluster.SmallCluster(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := func(c *Comm) error {
+		for i := 0; i < 20; i++ {
+			c.ComputeSeconds(0.01)
+			c.Send((c.Rank()+1)%c.Size(), 1, []float64{float64(i)})
+			c.Recv((c.Rank()+c.Size()-1)%c.Size(), 1)
+		}
+		return nil
+	}
+	gor, errG := Run(6, faultCfg(plan), prog)
+	ev, errE := Run(6, evCfg(faultCfg(plan)), prog)
+	if (errG == nil) != (errE == nil) {
+		t.Fatalf("outcomes differ: goroutine %v vs event %v", errG, errE)
+	}
+	for r := range gor.Clocks {
+		if gor.Clocks[r] != ev.Clocks[r] || gor.Compute[r] != ev.Compute[r] || gor.Comm[r] != ev.Comm[r] {
+			t.Errorf("rank %d accounting differs: clock %v/%v compute %v/%v comm %v/%v", r,
+				gor.Clocks[r], ev.Clocks[r], gor.Compute[r], ev.Compute[r], gor.Comm[r], ev.Comm[r])
+		}
+	}
+	var rfG, rfE *fault.RanksFailed
+	if errors.As(errG, &rfG) != errors.As(errE, &rfE) {
+		t.Fatalf("failure reports differ in kind: %v vs %v", errG, errE)
+	}
+	if rfG != nil && !reflect.DeepEqual(rfG, rfE) {
+		t.Errorf("failure reports differ:\ngoroutine: %+v\nevent:     %+v", rfG, rfE)
+	}
+	if !reflect.DeepEqual(gor.Flight, ev.Flight) {
+		t.Errorf("flight tails differ:\ngoroutine: %+v\nevent:     %+v", gor.Flight, ev.Flight)
+	}
+}
+
+// TestEventDrivenCheckpointSyncIdentical: CheckpointSync (the
+// checkpoint/restart clock coordination) must align clocks to the same
+// bit pattern under both executors, with and without fast collectives.
+func TestEventDrivenCheckpointSyncIdentical(t *testing.T) {
+	prog := func(out []float64) func(c *Comm) error {
+		return func(c *Comm) error {
+			c.ComputeSeconds(0.01 * float64(c.Rank()+1))
+			out[c.Rank()] = c.CheckpointSync(0.002)
+			c.ComputeSeconds(0.005)
+			return nil
+		}
+	}
+	for _, base := range []Config{testCfg(), fastCfg()} {
+		gorT := make([]float64, 5)
+		evT := make([]float64, 5)
+		gor, err := Run(5, base, prog(gorT))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev, err := Run(5, evCfg(base), prog(evT))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for r := range gorT {
+			if gorT[r] != evT[r] {
+				t.Errorf("rank %d checkpoint time %v vs %v (fastcoll=%v)", r, gorT[r], evT[r], base.FastCollectives)
+			}
+			if gor.Clocks[r] != ev.Clocks[r] {
+				t.Errorf("rank %d clock %v vs %v (fastcoll=%v)", r, gor.Clocks[r], ev.Clocks[r], base.FastCollectives)
+			}
+		}
+	}
+}
+
+// TestEventDrivenRecvAllIdentical covers the Waitall-style wildcard
+// drain, whose clock advance must not depend on delivery order under
+// either executor.
+func TestEventDrivenRecvAllIdentical(t *testing.T) {
+	const p = 6
+	prog := func(sums []float64) func(c *Comm) error {
+		return func(c *Comm) error {
+			if c.Rank() == 0 {
+				data, sources := c.RecvAll(p-1, 7)
+				s := 0.0
+				for i := range data {
+					s += data[i][0] * float64(sources[i]+1)
+				}
+				sums[0] = s
+				return nil
+			}
+			c.ComputeSeconds(1e-4 * float64(c.Rank()))
+			c.Send(0, 7, []float64{float64(c.Rank() * 10)})
+			sums[c.Rank()] = 1
+			return nil
+		}
+	}
+	gorSums := make([]float64, p)
+	evSums := make([]float64, p)
+	gor, err := Run(p, testCfg(), prog(gorSums))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := Run(p, evCfg(testCfg()), prog(evSums))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertStatsIdentical(t, "recvall event vs goroutine", gor, ev, gorSums, evSums)
+}
+
+// TestEventDrivenClocksIdenticalAcrossHostParallelism: the event loop is
+// single-threaded by construction, but the contract is still asserted —
+// GOMAXPROCS must not leak into any virtual-time quantity.
+func TestEventDrivenClocksIdenticalAcrossHostParallelism(t *testing.T) {
+	const p = 13
+	prev := runtime.GOMAXPROCS(1)
+	serial, serialSums := runMixed(t, p, evCfg(fastCfg()))
+	runtime.GOMAXPROCS(prev)
+	parallel, parallelSums := runMixed(t, p, evCfg(fastCfg()))
+	assertStatsIdentical(t, "GOMAXPROCS=1 vs parallel (event)", serial, parallel, serialSums, parallelSums)
+}
+
+// TestEventDrivenDeadlockFailsFast: with every live rank parked and no
+// pending event, the executor can prove the program deadlocked and fail
+// immediately instead of stalling until the watchdog fires.
+func TestEventDrivenDeadlockFailsFast(t *testing.T) {
+	_, err := Run(2, evCfg(testCfg()), func(c *Comm) error {
+		c.Recv(1-c.Rank(), 5) // both ranks wait; nobody sends
+		return nil
+	})
+	if err == nil {
+		t.Fatal("deadlocked run succeeded")
+	}
+	if !strings.Contains(err.Error(), "deadlock") {
+		t.Errorf("err = %v, want deadlock diagnosis", err)
+	}
+}
+
+// TestEventDrivenCancelAborts: the cancel watcher runs on a host thread
+// and may only touch the atomic abort flag; the loop notices it at the
+// next resume boundary and drains every parked rank.
+func TestEventDrivenCancelAborts(t *testing.T) {
+	cancel := make(chan struct{})
+	close(cancel)
+	cfg := evCfg(testCfg())
+	cfg.Cancel = cancel
+	_, err := Run(2, cfg, func(c *Comm) error {
+		for {
+			c.Send(1-c.Rank(), 2, []float64{1})
+			c.Recv(1-c.Rank(), 2)
+		}
+	})
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+}
+
+// TestEventDrivenMismatchedCollectivesFailLoudly: a rank panic inside a
+// resumed coroutine must abort the world cleanly, exactly like a rank
+// goroutine panicking.
+func TestEventDrivenMismatchedCollectivesFailLoudly(t *testing.T) {
+	_, err := Run(2, evCfg(fastCfg()), func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.Barrier()
+		} else {
+			c.Bcast(0, []float64{1})
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("mismatched collectives succeeded")
+	}
+	if !strings.Contains(err.Error(), "mismatched collectives") {
+		t.Errorf("err = %v, want mismatched-collective panic", err)
+	}
+}

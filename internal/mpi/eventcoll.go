@@ -1,0 +1,92 @@
+// Event-mode fast collectives: the station rendezvous of fastcoll.go
+// re-expressed as coroutine yield points. Members park at the station
+// (no mutex, no condvar — the loop is single-threaded); the last arrival
+// replays the schedule and wakes the cohort in rank order. The replay
+// itself (fastcoll.go, fastreplay.go) is shared with the goroutine
+// runtime, so both executors perform identical floating-point operations
+// in identical order.
+//
+//lint:eventdriven
+package mpi
+
+import "fmt"
+
+// stationCached returns the communicator's rendezvous station, caching
+// the pointer on the Comm so repeated collectives skip the stations-map
+// lookup and its lock. Comms are per-rank, so the cache is written only
+// by its owning rank.
+func (c *Comm) stationCached() *station {
+	st := c.station
+	if st == nil {
+		st = c.world.stationFor(c)
+		c.station = st
+	}
+	return st
+}
+
+// rendezvousEvent is the event-driven rendezvous: park until the
+// communicator is complete, with the last arrival leading the replay and
+// waking the members. Generation counting distinguishes a completed
+// replay from a spurious wake (abort drain, death re-probe).
+func (c *Comm) rendezvousEvent(kind collKind, root int, op Op, data []float64) []float64 {
+	// The fast path bypasses pushOp; count the outermost collective here
+	// so the metrics counter agrees with the message-level path. (Fault
+	// plans force the message-level path, so no flight recording needed.)
+	if p := c.proc; p.metrics != nil && p.op == "" {
+		p.metrics.Collective()
+	}
+	st := c.stationCached()
+	if st.arrived == 0 {
+		st.kind, st.root, st.op = kind, root, op
+	} else if st.kind != kind || st.root != root || st.op != op {
+		panic(fmt.Sprintf("mpi: mismatched collectives on one communicator: rank %d entered %v, others %v",
+			c.rank, kind, st.kind))
+	}
+	// procs and comm never change between generations on one station;
+	// writing them only once keeps repeat collectives free of pointer
+	// write barriers on the hot path.
+	if st.procs[c.rank] == nil {
+		st.procs[c.rank] = c.proc
+		st.comm = c
+	}
+	st.data[c.rank] = data
+	st.arrived++
+	ev := c.world.ev
+	if st.arrived < st.size {
+		myGen := st.gen
+		er := &ev.ranks[c.proc.worldRank]
+		for st.gen == myGen {
+			if c.world.aborted() {
+				panic(errAborted)
+			}
+			er.park(evParkedColl)
+		}
+	} else {
+		st.replay(c.world)
+		st.arrived = 0
+		st.gen++
+		if st.wranks == nil {
+			st.wranks = make([]int32, st.size)
+			for r := 0; r < st.size; r++ {
+				st.wranks[r] = int32(c.worldRankOf(r))
+			}
+		}
+		// Wake the cohort in rank order. The state check keeps an abort
+		// drain (which already queued the members) from enqueueing them a
+		// second time.
+		self := int32(c.proc.worldRank)
+		for _, wr := range st.wranks {
+			if wr == self {
+				continue
+			}
+			if er := &ev.ranks[wr]; er.state == evParkedColl {
+				er.state = evRunnable
+				ev.cohort = append(ev.cohort, wr)
+			}
+		}
+	}
+	res := st.out[c.rank]
+	st.out[c.rank] = nil
+	st.data[c.rank] = nil
+	return res
+}

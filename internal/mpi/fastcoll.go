@@ -68,6 +68,22 @@ type station struct {
 	// Replay scratch, reused across collectives on this communicator.
 	arr  []float64   // pending arrival time per rank
 	snap [][]float64 // pre-round payload snapshots (allreduce)
+
+	// bare selects the inlined observer-free replay variants
+	// (fastreplay.go); set at creation from World.bareColl. The cross
+	// tables cache each round's intra-/inter-node classification per rank
+	// (the rank→node mapping of a communicator never changes), and
+	// scratch backs the pairwise allreduce snapshot.
+	bare      bool
+	barCross  [][]bool
+	arCross   [][]bool
+	foldCross []bool
+	scratch   []float64
+
+	// wranks caches the members' world ranks (the communicator's
+	// rank→world mapping never changes), so per-collective member walks
+	// skip the worldRankOf indirection.
+	wranks []int32
 }
 
 // stationFor returns the rendezvous station of c's context, creating it
@@ -80,6 +96,7 @@ func (w *World) stationFor(c *Comm) *station {
 		n := c.Size()
 		st = &station{
 			size:  n,
+			bare:  w.bareColl,
 			procs: make([]*proc, n),
 			data:  make([][]float64, n),
 			out:   make([][]float64, n),
@@ -102,13 +119,16 @@ func (st *station) interrupt() {
 // the same collective, replays the schedule once complete, and returns
 // this rank's result.
 func (c *Comm) rendezvous(kind collKind, root int, op Op, data []float64) []float64 {
+	if c.world.ev != nil {
+		return c.rendezvousEvent(kind, root, op, data)
+	}
 	// The fast path bypasses pushOp; count the outermost collective here
 	// so the metrics counter agrees with the message-level path. (Fault
 	// plans force the message-level path, so no flight recording needed.)
 	if p := c.proc; p.metrics != nil && p.op == "" {
 		p.metrics.Collective()
 	}
-	st := c.world.stationFor(c)
+	st := c.stationCached()
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if st.arrived == 0 {
@@ -117,9 +137,14 @@ func (c *Comm) rendezvous(kind collKind, root int, op Op, data []float64) []floa
 		panic(fmt.Sprintf("mpi: mismatched collectives on one communicator: rank %d entered %v, others %v",
 			c.rank, kind, st.kind))
 	}
-	st.procs[c.rank] = c.proc
+	// procs and comm never change between generations on one station;
+	// writing them only once keeps repeat collectives free of pointer
+	// write barriers on the hot path.
+	if st.procs[c.rank] == nil {
+		st.procs[c.rank] = c.proc
+		st.comm = c
+	}
 	st.data[c.rank] = data
-	st.comm = c
 	st.arrived++
 	if st.arrived < st.size {
 		myGen := st.gen
@@ -142,8 +167,14 @@ func (c *Comm) rendezvous(kind collKind, root int, op Op, data []float64) []floa
 }
 
 // replay runs the analytic recurrence for the pending collective.
-// Called with st.mu held and every member parked.
+// Called by the last arrival while every other member is parked (with
+// st.mu held under the goroutine runtime; on the loop thread under the
+// event-driven executor).
 func (st *station) replay(w *World) {
+	if st.bare {
+		st.replayBare(w)
+		return
+	}
 	switch st.kind {
 	case collBarrier:
 		st.replayBarrier(w)

@@ -1,0 +1,364 @@
+package mpi
+
+import "cpx/internal/cluster"
+
+// Bare analytic-collective replays. When a run has no per-charge
+// observers — no profiles, no timelines, no metrics, no fault plan —
+// chargeCommAs reduces to {clock += s; comm += s} and advanceTo to
+// {comm += arrival − clock; clock = arrival}. These variants replay the
+// exact message schedules of fastcoll.go with those reduced updates
+// inlined, with per-round intra-/inter-node link classifications cached
+// per station (a communicator's rank→node mapping never changes), and
+// with the per-edge transfer term precomputed once per collective. Every
+// floating-point operation and its order is unchanged from the observed
+// replays — and therefore from the message-level path — so clocks, comm
+// accounting and reduction results stay bitwise identical
+// (fastpath_test.go and event_test.go enforce this differentially).
+// What the bare path removes is pure host overhead: function-call
+// indirection, crash clamping against an infinite crash time, nil
+// observer checks, per-rank snapshot allocations.
+
+// ttPair returns the intra- and inter-node transfer times for one
+// payload size, evaluated with exactly cluster.TransferTime's
+// expression (latency + bytes/bandwidth from the same Link terms).
+func ttPair(mach *cluster.Machine, bytes int) (intra, inter float64) {
+	return mach.IntraNodeLatency + float64(bytes)/mach.IntraNodeBW,
+		mach.InterNodeLatency + float64(bytes)/mach.EffectiveInterBW()
+}
+
+// replayBare dispatches the observer-free replay for the pending
+// collective. Preconditions (established by World.bareColl): every
+// member proc has nil profile/timeline/metrics/flight and an infinite
+// crash time.
+func (st *station) replayBare(w *World) {
+	switch st.kind {
+	case collBarrier:
+		st.replayBarrierBare(w)
+	case collBcast:
+		st.replayBcastBare(w)
+	case collAllreduce:
+		st.replayAllreduceBare(w)
+	}
+}
+
+// buildBarCross caches, per dissemination round, whether each rank's
+// send to rank+k crosses a node boundary.
+func (st *station) buildBarCross(w *World) {
+	mach := w.machine
+	wr := st.comm.worldRankOf
+	p := st.size
+	for k := 1; k < p; k *= 2 {
+		row := make([]bool, p)
+		for r := 0; r < p; r++ {
+			to := r + k
+			if to >= p {
+				to -= p
+			}
+			row[r] = !mach.SameNode(wr(r), wr(to))
+		}
+		st.barCross = append(st.barCross, row)
+	}
+}
+
+// replayBarrierBare is replayBarrier with the charges inlined: per round,
+// every rank charges its send (stamping the partner's arrival), then
+// completes its receive — exactly each rank's program order.
+func (st *station) replayBarrierBare(w *World) {
+	p := st.size
+	if p == 1 {
+		return
+	}
+	mach := w.machine
+	so, ro := mach.SendOverhead, mach.RecvOverhead
+	ti, tx := ttPair(mach, 0)
+	if st.barCross == nil {
+		st.buildBarCross(w)
+	}
+	arr := st.arr
+	ki := 0
+	for k := 1; k < p; k *= 2 {
+		cross := st.barCross[ki]
+		ki++
+		for r := 0; r < p; r++ {
+			pr := st.procs[r]
+			pr.clock += so
+			pr.comm += so
+			to := r + k
+			if to >= p {
+				to -= p
+			}
+			t := ti
+			if cross[r] {
+				t = tx
+			}
+			arr[to] = pr.clock + t
+		}
+		for r := 0; r < p; r++ {
+			pr := st.procs[r]
+			if a := arr[r]; a > pr.clock {
+				pr.comm += a - pr.clock
+				pr.clock = a
+			}
+			pr.clock += ro
+			pr.comm += ro
+		}
+	}
+}
+
+// replayBcastBare is replayBcast with the charges inlined, walking the
+// rotated binomial tree in virtual-rank order.
+func (st *station) replayBcastBare(w *World) {
+	p := st.size
+	root := st.root
+	data := st.data[root]
+	if p == 1 {
+		st.out[root] = data
+		return
+	}
+	mach := w.machine
+	wr := st.comm.worldRankOf
+	so, ro := mach.SendOverhead, mach.RecvOverhead
+	ti, tx := ttPair(mach, 8*len(data))
+	arr := st.arr
+	// Every non-root rank leaves with a private copy of the payload; one
+	// slab allocation per collective serves all of them (carved with
+	// clamped caps, so callers appending reallocate exactly as they would
+	// off a private clone).
+	n := len(data)
+	var slab []float64
+	if n > 0 {
+		slab = make([]float64, (p-1)*n)
+	}
+	for v := 0; v < p; v++ {
+		r := v + root
+		if r >= p {
+			r -= p
+		}
+		pr := st.procs[r]
+		mask := 1
+		for mask < p {
+			if v&mask != 0 {
+				if a := arr[v]; a > pr.clock {
+					pr.comm += a - pr.clock
+					pr.clock = a
+				}
+				pr.clock += ro
+				pr.comm += ro
+				break
+			}
+			mask <<= 1
+		}
+		for mask >>= 1; mask > 0; mask >>= 1 {
+			if v+mask < p {
+				child := v + mask + root
+				if child >= p {
+					child -= p
+				}
+				pr.clock += so
+				pr.comm += so
+				t := ti
+				if !mach.SameNode(wr(r), wr(child)) {
+					t = tx
+				}
+				arr[v+mask] = pr.clock + t
+			}
+		}
+		// The message-level path hands every non-root rank a private
+		// clone made by its parent's send; the root returns its own
+		// slice unchanged.
+		switch {
+		case v == 0:
+			st.out[r] = data
+		case n == 0:
+			if data == nil {
+				st.out[r] = nil
+			} else {
+				st.out[r] = []float64{}
+			}
+		default:
+			buf := slab[:n:n]
+			slab = slab[n:]
+			copy(buf, data)
+			st.out[r] = buf
+		}
+	}
+}
+
+// buildArCross caches the recursive-doubling and fold link
+// classifications for the allreduce replay.
+func (st *station) buildArCross(w *World, pow2 int) {
+	mach := w.machine
+	wr := st.comm.worldRankOf
+	for k := 1; k < pow2; k *= 2 {
+		row := make([]bool, pow2)
+		for r := 0; r < pow2; r++ {
+			row[r] = !mach.SameNode(wr(r), wr(r^k))
+		}
+		st.arCross = append(st.arCross, row)
+	}
+	st.foldCross = make([]bool, st.size-pow2)
+	for r := pow2; r < st.size; r++ {
+		st.foldCross[r-pow2] = !mach.SameNode(wr(r), wr(r-pow2))
+	}
+}
+
+// replayAllreduceBare is replayAllreduce with the charges inlined. The
+// per-round payload snapshots become one pairwise scratch buffer: for a
+// partner pair (a, b), out[b] is still the pre-round value when a
+// applies it, and b applies the scratch copy of a's pre-round value —
+// the same operand values as the message-level clones, so reduction
+// results are bitwise identical.
+func (st *station) replayAllreduceBare(w *World) {
+	p := st.size
+	mach := w.machine
+	op := st.op
+	bytes := 0
+	// Per-rank result accumulators, carved from one slab allocation per
+	// collective (ownership transfers to the callers, exactly like the
+	// fresh per-rank copies of the message-level path; clamped caps keep
+	// append behaviour identical to private allocations).
+	total := 0
+	for r := 0; r < p; r++ {
+		total += len(st.data[r])
+	}
+	var slab []float64
+	if total > 0 {
+		slab = make([]float64, total)
+	}
+	for r := 0; r < p; r++ {
+		d := st.data[r]
+		if len(d) == 0 {
+			// Match the message path's make([]float64, 0) exactly,
+			// including non-nilness.
+			st.out[r] = make([]float64, 0)
+		} else {
+			n := len(d)
+			buf := slab[:n:n]
+			slab = slab[n:]
+			copy(buf, d)
+			st.out[r] = buf
+		}
+		bytes = 8 * len(d)
+	}
+	if p == 1 {
+		return
+	}
+	pow2 := 1
+	for pow2*2 <= p {
+		pow2 *= 2
+	}
+	extra := p - pow2
+	if st.arCross == nil {
+		st.buildArCross(w, pow2)
+	}
+	so, ro := mach.SendOverhead, mach.RecvOverhead
+	ti, tx := ttPair(mach, bytes)
+	arr := st.arr
+
+	// Fold: high ranks charge their entry send...
+	for r := pow2; r < p; r++ {
+		pr := st.procs[r]
+		pr.clock += so
+		pr.comm += so
+		t := ti
+		if st.foldCross[r-pow2] {
+			t = tx
+		}
+		arr[r-pow2] = pr.clock + t
+	}
+	// ...and their low partners receive and apply.
+	for r := 0; r < extra; r++ {
+		pr := st.procs[r]
+		if a := arr[r]; a > pr.clock {
+			pr.comm += a - pr.clock
+			pr.clock = a
+		}
+		pr.clock += ro
+		pr.comm += ro
+		op.apply(st.out[r], st.out[r+pow2])
+	}
+
+	// Recursive doubling among the low pow2 ranks, processed pairwise:
+	// each pair exchanges sends, waits, and applies the partner's
+	// pre-round value.
+	n := len(st.out[0])
+	if cap(st.scratch) < n {
+		st.scratch = make([]float64, n)
+	}
+	scratch := st.scratch[:n]
+	sum := op == Sum
+	ki := 0
+	for k := 1; k < pow2; k *= 2 {
+		cross := st.arCross[ki]
+		ki++
+		for a := 0; a < pow2; a++ {
+			b := a ^ k
+			if b < a {
+				continue
+			}
+			pa, pb := st.procs[a], st.procs[b]
+			// Link classification is symmetric: cross[a] == cross[b].
+			t := ti
+			if cross[a] {
+				t = tx
+			}
+			pa.clock += so
+			pa.comm += so
+			arrB := pa.clock + t
+			pb.clock += so
+			pb.comm += so
+			arrA := pb.clock + t
+			if arrA > pa.clock {
+				pa.comm += arrA - pa.clock
+				pa.clock = arrA
+			}
+			pa.clock += ro
+			pa.comm += ro
+			if arrB > pb.clock {
+				pb.comm += arrB - pb.clock
+				pb.clock = arrB
+			}
+			pb.clock += ro
+			pb.comm += ro
+			da, db := st.out[a], st.out[b]
+			copy(scratch, da)
+			if sum && len(da) == n && len(db) == n {
+				// Sum inlined: the same element order and operand values
+				// as op.apply on both directions of the pair.
+				for i, v := range db {
+					da[i] += v
+				}
+				for i, v := range scratch {
+					db[i] += v
+				}
+			} else {
+				op.apply(da, db)
+				op.apply(db, scratch)
+			}
+		}
+	}
+
+	// Unfold: results travel back to the high ranks.
+	for r := 0; r < extra; r++ {
+		pr := st.procs[r]
+		pr.clock += so
+		pr.comm += so
+		t := ti
+		if st.foldCross[r] {
+			t = tx
+		}
+		arr[r+pow2] = pr.clock + t
+	}
+	for r := pow2; r < p; r++ {
+		pr := st.procs[r]
+		if a := arr[r]; a > pr.clock {
+			pr.comm += a - pr.clock
+			pr.clock = a
+		}
+		pr.clock += ro
+		pr.comm += ro
+		// The message-level path returns the received clone of the low
+		// partner's final acc.
+		copy(st.out[r], st.out[r-pow2])
+	}
+}

@@ -350,3 +350,116 @@ func TestPartialRunExportsSafely(t *testing.T) {
 		t.Errorf("empty stats averages = %v/%v, want 0/0", empty.AvgCompute, empty.AvgComm)
 	}
 }
+
+// TestAnySourceRecvDetectsDeadPeers is the regression test for the
+// wildcard dead-check: an AnySource receive used to pass a nil probe
+// into the mailbox wait and could block forever (until the watchdog) on
+// a crashed peer. It must now fail once every other communicator member
+// is dead, with the detection anchored to the last death. Both
+// executors must agree bit for bit.
+func TestAnySourceRecvDetectsDeadPeers(t *testing.T) {
+	plan := &fault.Plan{Crashes: []fault.Crash{{Rank: 1, At: 0.25}, {Rank: 2, At: 0.5}}}
+	prog := func(detected []float64) func(c *Comm) error {
+		return func(c *Comm) error {
+			if c.Rank() == 0 {
+				c.Recv(AnySource, 3) // no survivor ever sends
+				return nil
+			}
+			c.ComputeSeconds(1.0) // both peers die mid-compute
+			c.Send(0, 3, []float64{1})
+			return nil
+		}
+	}
+	for _, ev := range []bool{false, true} {
+		cfg := faultCfg(plan)
+		cfg.EventDriven = ev
+		detected := make([]float64, 3)
+		st, err := Run(3, cfg, prog(detected))
+		if err == nil {
+			t.Fatalf("event=%v: wildcard receive from dead peers succeeded", ev)
+		}
+		var rf *fault.RanksFailed
+		if !errors.As(err, &rf) {
+			t.Fatalf("event=%v: err = %v (%T), want *fault.RanksFailed", ev, err, err)
+		}
+		if len(rf.Detections) != 1 {
+			t.Fatalf("event=%v: detections = %+v, want one (rank 0's)", ev, rf.Detections)
+		}
+		d := rf.Detections[0]
+		// The failure that completes the wildcard condition is the last
+		// death (rank 2 at t=0.5); detection follows the modelled latency.
+		if d.Rank != 2 || d.FailedAt != 0.5 {
+			t.Errorf("event=%v: detection %+v, want rank 2 failed at 0.5", ev, d)
+		}
+		if want := 0.5 + plan.Detection(); d.DetectedAt != want {
+			t.Errorf("event=%v: DetectedAt = %v, want %v", ev, d.DetectedAt, want)
+		}
+		if st == nil {
+			t.Fatal("no partial stats")
+		}
+	}
+}
+
+// TestAnySourceRecvStillDrainsLiveSenders: the wildcard dead-check must
+// not fire while any potential sender is alive — a live rank's later
+// send must be received normally even though another peer is already
+// dead, and a dead rank's pre-death send must still win over its death.
+func TestAnySourceRecvStillDrainsLiveSenders(t *testing.T) {
+	plan := &fault.Plan{Crashes: []fault.Crash{{Rank: 1, At: 0.2}}}
+	for _, ev := range []bool{false, true} {
+		cfg := faultCfg(plan)
+		cfg.EventDriven = ev
+		got := make([]float64, 3)
+		_, err := Run(3, cfg, func(c *Comm) error {
+			switch c.Rank() {
+			case 0:
+				d, src, _ := c.Recv(AnySource, 9)
+				got[0] = d[0] + 100*float64(src)
+			case 1:
+				c.ComputeSeconds(0.1) // sends before its death at 0.2
+				c.Send(0, 9, []float64{7})
+				c.ComputeSeconds(1.0) // dies here
+			case 2:
+				c.ComputeSeconds(2.0) // outlives everything, sends nothing
+			}
+			return nil
+		})
+		var rf *fault.RanksFailed
+		if !errors.As(err, &rf) {
+			t.Fatalf("event=%v: err = %v, want *fault.RanksFailed (rank 1 still crashes)", ev, err)
+		}
+		if len(rf.Detections) != 0 {
+			t.Errorf("event=%v: unexpected detections %+v; the wildcard receive was satisfied by a real message", ev, rf.Detections)
+		}
+		if got[0] != 7+100*1 {
+			t.Errorf("event=%v: rank 0 received %v, want payload 7 from source 1", ev, got[0])
+		}
+	}
+}
+
+// TestRecvAllDetectsDeadPeers: the Waitall-style drain passes the same
+// wildcard dead-check, so a crashed sender fails the wait instead of
+// hanging it until the watchdog.
+func TestRecvAllDetectsDeadPeers(t *testing.T) {
+	plan := &fault.Plan{Crashes: []fault.Crash{{Rank: 1, At: 0.25}, {Rank: 2, At: 0.3}}}
+	for _, ev := range []bool{false, true} {
+		cfg := faultCfg(plan)
+		cfg.EventDriven = ev
+		_, err := Run(3, cfg, func(c *Comm) error {
+			if c.Rank() == 0 {
+				c.RecvAll(2, 4) // peers die before sending
+				return nil
+			}
+			c.ComputeSeconds(1.0)
+			c.Send(0, 4, []float64{1})
+			return nil
+		})
+		var rf *fault.RanksFailed
+		if !errors.As(err, &rf) {
+			t.Fatalf("event=%v: err = %v, want *fault.RanksFailed", ev, err)
+		}
+		if len(rf.Detections) != 1 || rf.Detections[0].Rank != 2 {
+			t.Errorf("event=%v: detections = %+v, want rank 0 detecting the last death (rank 2)", ev, rf.Detections)
+		}
+	}
+}

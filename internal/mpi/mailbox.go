@@ -52,7 +52,12 @@ func (bk *bucket) pop() *message {
 	return m
 }
 
-// mailbox is the per-rank incoming message queue.
+// mailbox is the per-rank incoming message queue. The zero value is
+// ready to use: the bucket map and the wait condvar are created on first
+// need, so a run whose ranks never exchange point-to-point messages
+// (analytic collectives only) pays nothing per mailbox beyond the struct
+// itself, and the event-driven executor — which never blocks on a
+// mailbox — allocates no condvars at all.
 type mailbox struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -65,12 +70,6 @@ type mailbox struct {
 	// one waiter (the owning rank), so a matching put issues one Signal.
 	waiting                   bool
 	wantCtx, wantSrc, wantTag int
-}
-
-func newMailbox() *mailbox {
-	b := &mailbox{buckets: make(map[bkey]*bucket)}
-	b.cond = sync.NewCond(&b.mu)
-	return b
 }
 
 func (b *mailbox) getBucket() *bucket {
@@ -99,9 +98,27 @@ func match(src, tag int, m *message) bool {
 // matching pattern.
 func (b *mailbox) put(m *message) {
 	b.mu.Lock()
+	b.enqueue(m)
+	if b.waiting && m.ctx == b.wantCtx && match(b.wantSrc, b.wantTag, m) {
+		b.cond.Signal()
+	}
+	b.mu.Unlock()
+}
+
+// putDirect enqueues a message without locking or signalling. Only the
+// event-driven executor uses it: every delivery happens on the single
+// loop thread, and the loop performs its own receiver wakeups.
+func (b *mailbox) putDirect(m *message) { b.enqueue(m) }
+
+// enqueue stamps the arrival sequence and appends to the (ctx, src, tag)
+// FIFO bucket. Caller holds b.mu (or is the event loop's only thread).
+func (b *mailbox) enqueue(m *message) {
 	m.seq = b.seq
 	b.seq++
 	k := bkey{m.ctx, m.src, m.tag}
+	if b.buckets == nil {
+		b.buckets = make(map[bkey]*bucket)
+	}
 	bk := b.buckets[k]
 	if bk == nil {
 		bk = b.getBucket()
@@ -109,14 +126,10 @@ func (b *mailbox) put(m *message) {
 	}
 	bk.push(m)
 	b.pending++
-	if b.waiting && m.ctx == b.wantCtx && match(b.wantSrc, b.wantTag, m) {
-		b.cond.Signal()
-	}
-	b.mu.Unlock()
 }
 
 // tryTake removes and returns the first message matching (ctx, src, tag),
-// or nil. Caller holds b.mu.
+// or nil. Caller holds b.mu (or is the event loop's only thread).
 func (b *mailbox) tryTake(ctx, src, tag int) *message {
 	if b.pending == 0 {
 		return nil
@@ -190,6 +203,9 @@ func (b *mailbox) take(w *World, ctx, src, tag int, deadCheck func() *fault.Rank
 		}
 		b.wantCtx, b.wantSrc, b.wantTag = ctx, src, tag
 		b.waiting = true
+		if b.cond == nil {
+			b.cond = sync.NewCond(&b.mu)
+		}
 		b.cond.Wait()
 		b.waiting = false
 	}
@@ -198,6 +214,8 @@ func (b *mailbox) take(w *World, ctx, src, tag int, deadCheck func() *fault.Rank
 // interrupt wakes a blocked receiver so it can observe an abort.
 func (b *mailbox) interrupt() {
 	b.mu.Lock()
-	b.cond.Broadcast()
+	if b.cond != nil {
+		b.cond.Broadcast()
+	}
 	b.mu.Unlock()
 }

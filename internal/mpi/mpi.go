@@ -1,9 +1,12 @@
 // Package mpi is an in-process, virtual-time message-passing runtime with
 // MPI-like semantics. It stands in for the MPI library the paper's
-// mini-apps use on ARCHER2 (see DESIGN.md §2): ranks run as goroutines,
-// point-to-point messages and collectives move real data, and every rank
-// carries a logical clock that advances through modelled compute time and
-// through message causality.
+// mini-apps use on ARCHER2 (see DESIGN.md §2): point-to-point messages
+// and collectives move real data, and every rank carries a logical clock
+// that advances through modelled compute time and through message
+// causality. Ranks run as goroutines by default, or as coroutines on a
+// single-threaded discrete-event loop (Config.EventDriven, event.go);
+// the two executors are differentially tested to produce bitwise
+// identical results.
 //
 // Timing model (conservative logical-clock PDES):
 //
@@ -28,6 +31,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"cpx/internal/cluster"
@@ -81,8 +85,14 @@ type World struct {
 	machine  *cluster.Machine
 	boxes    []*mailbox
 	procs    []*proc
-	fastColl bool // Config.FastCollectives && !Config.Trace && no fault plan
+	wcomms   []Comm // per-rank world communicators, batch-allocated
+	fastColl bool   // Config.FastCollectives && !Config.Trace && no fault plan
+	bareColl bool // fastColl && no per-charge observers: stations may replay bare
 	plan     *fault.Plan
+
+	// ev is the discrete-event executor state (Config.EventDriven); nil
+	// selects the goroutine runtime. See event.go.
+	ev *eventLoop
 
 	// deadMu guards deadAt: per-rank virtual death times (< 0 = alive).
 	// A rank is recorded dead only once its goroutine can no longer send,
@@ -97,8 +107,7 @@ type World struct {
 	stMu     sync.Mutex
 	stations map[int]*station // analytic-collective rendezvous, by ctx
 
-	abortMu sync.Mutex
-	abort   bool
+	abort atomic.Bool
 
 	failMu   sync.Mutex
 	finished bool  // set once all ranks returned; silences the watchdog
@@ -109,16 +118,22 @@ type ctxKey struct {
 	parent, gen, color int
 }
 
-func (w *World) aborted() bool {
-	w.abortMu.Lock()
-	defer w.abortMu.Unlock()
-	return w.abort
-}
+func (w *World) aborted() bool { return w.abort.Load() }
 
+// setAborted publishes the abort flag and wakes every blocked rank so it
+// can unwind. Under the goroutine runtime the fan-out broadcasts on the
+// mailbox and station condvars; the event-driven loop instead polls the
+// flag between resumes and performs its own wakeups on the loop thread
+// (so host-side callers like the watchdog never touch loop state). Both
+// runtimes re-check the flag before blocking again, so one fan-out is
+// enough.
 func (w *World) setAborted() {
-	w.abortMu.Lock()
-	w.abort = true
-	w.abortMu.Unlock()
+	if w.abort.Swap(true) {
+		return
+	}
+	if w.ev != nil {
+		return
+	}
 	for _, b := range w.boxes {
 		b.interrupt()
 	}
@@ -145,9 +160,37 @@ func (w *World) recordDeath(rank int, at float64) {
 		w.deadAt[rank] = at
 	}
 	w.deadMu.Unlock()
+	if w.ev != nil {
+		// recordDeath runs on the loop thread (die() and the rank-body
+		// unwind both execute inside a resumed coroutine), so waking the
+		// parked receivers directly is safe.
+		w.ev.wakeRecvParked()
+		return
+	}
 	for _, b := range w.boxes {
 		b.interrupt()
 	}
+}
+
+// deliver hands an in-flight message to the destination rank's mailbox,
+// waking the receiver if it is blocked on a matching pattern. The two
+// executors differ only in the wake mechanism (condvar signal vs event
+// enqueue); the mailbox FIFO state is shared.
+func (w *World) deliver(dstWorld int, m *message) {
+	if w.ev != nil {
+		w.ev.deliver(dstWorld, m)
+		return
+	}
+	w.boxes[dstWorld].put(m)
+}
+
+// take blocks rank's receive until a matching message (or failure
+// detection) is available, under whichever executor runs the world.
+func (w *World) take(rank, ctx, src, tag int, deadCheck func() *fault.RankFailure) (*message, *fault.RankFailure) {
+	if w.ev != nil {
+		return w.ev.take(rank, ctx, src, tag, deadCheck)
+	}
+	return w.boxes[rank].take(w, ctx, src, tag, deadCheck)
 }
 
 // failureFor returns the failure record of a dead rank, or nil.
@@ -410,6 +453,10 @@ type Comm struct {
 	base     int
 	size     int
 	splitGen int // number of Splits performed on this comm (for ctx derivation)
+	// station caches this communicator's fast-collective rendezvous
+	// station (lazily resolved), so repeated collectives skip the
+	// stations-map lock. Per-rank like the Comm itself.
+	station *station
 }
 
 // Rank returns the caller's rank within the communicator.
@@ -595,7 +642,7 @@ func (c *Comm) finishSend(to, tag int, m *message, chargedBytes int) {
 		p.flight.Record(telemetry.FlightEvent{T: departure, Kind: telemetry.FlightSend,
 			Peer: dstWorld, Bytes: chargedBytes, Tag: tag})
 	}
-	c.world.boxes[dstWorld].put(m)
+	c.world.deliver(dstWorld, m)
 }
 
 // sendF64 is the float64 fast path: the clone comes from the rank's
@@ -630,13 +677,50 @@ func (c *Comm) failPeer(rf *fault.RankFailure) {
 }
 
 // deadCheckFor builds the failure probe a blocked receive runs against a
-// specific source, or nil when failure detection cannot apply.
+// specific source (or AnySource), or nil when failure detection cannot
+// apply.
 func (c *Comm) deadCheckFor(from int) func() *fault.RankFailure {
-	if c.world.plan == nil || from == AnySource {
+	if c.world.plan == nil {
 		return nil
+	}
+	if from == AnySource {
+		if c.Size() < 2 {
+			return nil
+		}
+		return c.anySourceFailure
 	}
 	src := c.worldRankOf(from)
 	return func() *fault.RankFailure { return c.world.failureFor(src) }
+}
+
+// anySourceFailure is the dead-check of a wildcard receive: it reports a
+// failure only once *every* other member of the communicator is dead, the
+// deterministic point at which no matching message can ever be sent
+// again. (Failing on the first dead peer would race against live
+// senders' deliveries in host time.) The failure reported is the death
+// that completed the condition — the largest FailedAt, ties broken by the
+// lowest world rank — so the survivor's detection time is the virtual
+// moment its last potential sender died, independent of host scheduling.
+// Pending messages still win: take drains the queue before probing.
+func (c *Comm) anySourceFailure() *fault.RankFailure {
+	w := c.world
+	p := c.Size()
+	last, lastAt := -1, -1.0
+	w.deadMu.Lock()
+	defer w.deadMu.Unlock()
+	for r := 0; r < p; r++ {
+		if r == c.rank {
+			continue
+		}
+		at := w.deadAt[c.worldRankOf(r)]
+		if at < 0 {
+			return nil
+		}
+		if at > lastAt {
+			last, lastAt = c.worldRankOf(r), at
+		}
+	}
+	return &fault.RankFailure{Rank: last, FailedAt: lastAt}
 }
 
 // recvRaw blocks for a matching message and advances the virtual clock.
@@ -648,7 +732,7 @@ func (c *Comm) recvRaw(from, tag int) *message {
 	if from != AnySource {
 		c.checkPeer(from, "Recv")
 	}
-	msg, rf := c.world.boxes[c.proc.worldRank].take(c.world, c.ctx, from, tag, c.deadCheckFor(from))
+	msg, rf := c.world.take(c.proc.worldRank, c.ctx, from, tag, c.deadCheckFor(from))
 	if rf != nil {
 		c.failPeer(rf)
 	}
@@ -697,8 +781,14 @@ func (c *Comm) RecvAll(n, tag int) (data [][]float64, sources []int) {
 	}
 	msgs := make([]got, 0, n)
 	var latest message // the message whose arrival completes the Waitall
+	deadCheck := c.deadCheckFor(AnySource)
 	for i := 0; i < n; i++ {
-		m, _ := c.world.boxes[c.proc.worldRank].take(c.world, c.ctx, AnySource, tag, nil)
+		m, rf := c.world.take(c.proc.worldRank, c.ctx, AnySource, tag, deadCheck)
+		if rf != nil {
+			// A wildcard wait can only fail once every potential sender is
+			// dead; unwind like any receive from a dead peer.
+			c.failPeer(rf)
+		}
 		if m.payload != nil {
 			panic(fmt.Sprintf("mpi: RecvAll type mismatch: got %T, want []float64", m.payload))
 		}
@@ -952,6 +1042,19 @@ type Config struct {
 	// message-level path so event timelines and the comm matrix stay
 	// complete.
 	FastCollectives bool
+	// EventDriven selects the single-threaded discrete-event executor:
+	// rank programs run as resumable coroutines ordered by a virtual-clock
+	// event heap instead of one goroutine per rank, with no mutexes or
+	// condition variables on the messaging hot path. Blocking operations
+	// (Recv, collectives, fault-detection waits) become yield points that
+	// park the rank until the matching virtual-time event fires. Clocks,
+	// Stats, traces and metric series are bitwise identical to the
+	// goroutine runtime's (event_test.go enforces this differentially);
+	// the win is host time at high rank counts, where goroutine scheduling
+	// and lock traffic dominate. A deadlocked program is detected
+	// immediately (no runnable rank, live ranks parked) instead of
+	// stalling until the watchdog fires.
+	EventDriven bool
 	// Watchdog aborts the run if it exceeds this much *host* time,
 	// catching deadlocked communication patterns in tests. Defaults to
 	// 120 s; negative disables.
@@ -1034,13 +1137,26 @@ func Run(size int, cfg Config, fn func(*Comm) error) (*Stats, error) {
 		plan:     plan,
 		deadAt:   make([]float64, size),
 	}
+	// With no per-charge observers (profiles, timelines, metrics) and no
+	// plan, chargeCommAs/advanceTo reduce to plain clock/comm arithmetic,
+	// so stations may run the inlined bare replays (fastreplay.go) — the
+	// same floating-point operations in the same order, minus the
+	// per-charge indirection.
+	w.bareColl = w.fastColl && !cfg.Profile && !cfg.Trace && cfg.Metrics == nil
 	var collectors []*telemetry.Collector
 	if cfg.Metrics != nil {
 		collectors = telemetry.NewCollectors(size, cfg.Metrics)
 	}
+	// Mailboxes and procs are carved from two batch allocations: at
+	// fig8/fig9 rank counts, one-object-per-rank setup costs show up in
+	// run-level benchmarks.
+	bxs := make([]mailbox, size)
+	ps := make([]proc, size)
+	w.wcomms = make([]Comm, size)
 	for i := range w.boxes {
-		w.boxes[i] = newMailbox()
-		w.procs[i] = &proc{worldRank: i, world: w, crashAt: math.Inf(1), node: m.Node(i)}
+		w.boxes[i] = &bxs[i]
+		ps[i] = proc{worldRank: i, world: w, crashAt: math.Inf(1), node: m.Node(i)}
+		w.procs[i] = &ps[i]
 		w.deadAt[i] = -1
 		if plan != nil {
 			w.procs[i].crashAt = plan.CrashTime(i)
@@ -1095,56 +1211,20 @@ func Run(size int, cfg Config, fn func(*Comm) error) (*Stats, error) {
 	}
 
 	errs := make([]error, size)
-	var wg sync.WaitGroup
-	for r := 0; r < size; r++ {
-		wg.Add(1)
-		go func(rank int) {
-			defer wg.Done()
-			defer func() {
-				rec := recover()
-				if rec == nil {
-					return
-				}
-				if err, ok := rec.(error); ok {
-					switch {
-					case err == errAborted:
-						errs[rank] = errAborted
-						w.setAborted()
-						return
-					case err == errKilled:
-						// Death already recorded by die(); the world keeps
-						// running so survivors can detect and unwind.
-						errs[rank] = errKilled
-						return
-					}
-					var rf *fault.RankFailure
-					if errors.As(err, &rf) {
-						// This rank observed a dead peer and unwound. It will
-						// never send again, so it is dead to *its* peers too:
-						// record the cascade so they unblock deterministically.
-						errs[rank] = err
-						w.recordDeath(rank, w.procs[rank].clock)
-						return
-					}
-				}
-				errs[rank] = fmt.Errorf("mpi: rank %d panicked: %v", rank, rec)
-				w.setAborted()
-			}()
-			comm := &Comm{world: w, proc: w.procs[rank], ctx: 0, rank: rank}
-			if err := fn(comm); err != nil {
-				var rf *fault.RankFailure
-				if errors.As(err, &rf) {
-					// fn propagated a failure detection as a return value.
-					errs[rank] = err
-					w.recordDeath(rank, w.procs[rank].clock)
-					return
-				}
-				errs[rank] = fmt.Errorf("mpi: rank %d: %w", rank, err)
-				w.setAborted()
-			}
-		}(r)
+	if cfg.EventDriven {
+		w.ev = newEventLoop(w, size)
+		w.ev.run(fn, errs)
+	} else {
+		var wg sync.WaitGroup
+		for r := 0; r < size; r++ {
+			wg.Add(1)
+			go func(rank int) {
+				defer wg.Done()
+				w.rankBody(rank, fn, errs)
+			}(r)
+		}
+		wg.Wait()
 	}
-	wg.Wait()
 	w.failMu.Lock()
 	w.finished = true
 	runtimeErr := w.failErr
@@ -1232,6 +1312,55 @@ func Run(size int, cfg Config, fn func(*Comm) error) (*Stats, error) {
 		st.Flight = w.flightTails()
 	}
 	return st, firstErr
+}
+
+// rankBody runs fn on one rank with the standard unwind handling; it is
+// the body of one rank goroutine under the goroutine runtime and of one
+// rank coroutine under the event-driven executor.
+func (w *World) rankBody(rank int, fn func(*Comm) error, errs []error) {
+	defer func() {
+		rec := recover()
+		if rec == nil {
+			return
+		}
+		if err, ok := rec.(error); ok {
+			switch {
+			case err == errAborted:
+				errs[rank] = errAborted
+				w.setAborted()
+				return
+			case err == errKilled:
+				// Death already recorded by die(); the world keeps
+				// running so survivors can detect and unwind.
+				errs[rank] = errKilled
+				return
+			}
+			var rf *fault.RankFailure
+			if errors.As(err, &rf) {
+				// This rank observed a dead peer and unwound. It will
+				// never send again, so it is dead to *its* peers too:
+				// record the cascade so they unblock deterministically.
+				errs[rank] = err
+				w.recordDeath(rank, w.procs[rank].clock)
+				return
+			}
+		}
+		errs[rank] = fmt.Errorf("mpi: rank %d panicked: %v", rank, rec)
+		w.setAborted()
+	}()
+	comm := &w.wcomms[rank]
+	*comm = Comm{world: w, proc: w.procs[rank], ctx: 0, rank: rank}
+	if err := fn(comm); err != nil {
+		var rf *fault.RankFailure
+		if errors.As(err, &rf) {
+			// fn propagated a failure detection as a return value.
+			errs[rank] = err
+			w.recordDeath(rank, w.procs[rank].clock)
+			return
+		}
+		errs[rank] = fmt.Errorf("mpi: rank %d: %w", rank, err)
+		w.setAborted()
+	}
 }
 
 // flightTails dumps the post-mortem trails of a failed run: the tails

@@ -150,6 +150,30 @@ func TestSimulateEndpointCachesByteIdentical(t *testing.T) {
 	}
 }
 
+// TestSimulateSchedEvent runs the same coupled job under both rank
+// executors: the responses must be byte-identical (the executors are
+// bitwise-equivalent in virtual time), while caching keys stay separate
+// per request body.
+func TestSimulateSchedEvent(t *testing.T) {
+	_, ts := testServer(t, Options{})
+	url := ts.URL + "/v1/simulate"
+	respG, bodyG := postJSON(t, url, simBody)
+	if respG.StatusCode != 200 {
+		t.Fatalf("simulate (goroutine): %d %s", respG.StatusCode, bodyG)
+	}
+	evBody := strings.Replace(simBody, `"densitySteps": 3,`, `"densitySteps": 3, "sched": "event",`, 1)
+	respE, bodyE := postJSON(t, url, evBody)
+	if respE.StatusCode != 200 {
+		t.Fatalf("simulate (event): %d %s", respE.StatusCode, bodyE)
+	}
+	if xc := respE.Header.Get("X-Cache"); xc != "miss" {
+		t.Errorf("event simulate X-Cache = %q, want miss (distinct cache key)", xc)
+	}
+	if !bytes.Equal(bodyG, bodyE) {
+		t.Fatalf("event executor response differs from goroutine:\n%s\nvs\n%s", bodyG, bodyE)
+	}
+}
+
 // TestFitAndSpeedupEndpoints smoke-tests the remaining model routes.
 func TestFitAndSpeedupEndpoints(t *testing.T) {
 	_, ts := testServer(t, Options{})
@@ -186,6 +210,7 @@ func TestBadRequests(t *testing.T) {
 		{"trailing-garbage", ts.URL + "/v1/allocate", allocBody + ` {"x": 1}`},
 		{"bad-timeout", ts.URL + "/v1/allocate?timeout=yesterday", allocBody},
 		{"bad-sim-kind", ts.URL + "/v1/simulate", `{"densitySteps": 1, "rotationPerStep": 0.1, "instances": [{"name": "x", "kind": "openfoam", "meshCells": 10, "ranks": 1, "seed": 1}], "units": []}`},
+		{"bad-sched", ts.URL + "/v1/simulate", `{"sched": "fibers", "densitySteps": 1, "rotationPerStep": 0.1, "instances": [{"name": "x", "kind": "mgcfd", "meshCells": 10, "ranks": 1, "seed": 1}], "units": []}`},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

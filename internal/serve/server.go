@@ -387,7 +387,13 @@ func (s *Server) runSimulate(r *http.Request, jb *Job) (any, func(context.Contex
 		if err := sim.Validate(); err != nil {
 			return nil, badRequest(err)
 		}
-		cfg := mpi.Config{Machine: s.opts.Machine, FastCollectives: req.FastColl}
+		switch req.Sched {
+		case "", "goroutine", "event":
+		default:
+			return nil, badRequest(fmt.Errorf("sched must be \"goroutine\" or \"event\", got %q", req.Sched))
+		}
+		cfg := mpi.Config{Machine: s.opts.Machine, FastCollectives: req.FastColl,
+			EventDriven: req.Sched == "event"}
 		// Feed the job's live virtual-time progress from the metrics
 		// sampler. Sampling never perturbs the simulation (clocks and
 		// results stay bitwise identical), so cached artifacts are the

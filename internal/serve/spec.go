@@ -237,6 +237,11 @@ type SimulateRequest struct {
 	// FastColl selects the analytic collective path (cpxsim -fastcoll);
 	// virtual times are bitwise-identical either way.
 	FastColl bool `json:"fastColl,omitempty"`
+	// Sched selects the rank executor (cpxsim -sched): "goroutine" (the
+	// default, one goroutine per rank) or "event" (single-threaded
+	// discrete-event loop). Virtual times are bitwise-identical either
+	// way.
+	Sched string `json:"sched,omitempty"`
 }
 
 // ComponentTime is one component's virtual-time outcome.
