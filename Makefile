@@ -6,18 +6,24 @@
 
 GO ?= go
 
-.PHONY: check vet lint build test test-race race serve-smoke telemetry-smoke sched-smoke bench-smoke bench-trace bench-mpi bench-fault bench-serve bench-telemetry bench-sched
+.PHONY: check vet lint lint-baseline build test test-race test-race-short race serve-smoke telemetry-smoke sched-smoke bench-smoke bench-trace bench-mpi bench-fault bench-serve bench-telemetry bench-sched bench-lint
 
-check: vet lint build test race serve-smoke telemetry-smoke sched-smoke bench-smoke bench-fault
+check: vet lint build test race test-race-short serve-smoke telemetry-smoke sched-smoke bench-smoke bench-fault
 
 vet:
 	$(GO) vet ./...
 
-# cpxlint enforces the determinism, mpiuse, poolsafety and floatreduce
-# invariants (see internal/analysis); exits non-zero on any diagnostic
-# without a reviewed //lint:allow suppression.
+# cpxlint enforces the determinism, mpiuse, poolsafety, floatreduce,
+# commmatch and hotalloc invariants plus the perfgate compiler-fact
+# gate (see internal/analysis); exits non-zero on any diagnostic that
+# has neither a reviewed //lint:allow suppression nor an entry in the
+# checked-in lint.baseline.json.
 lint:
-	$(GO) run ./cmd/cpxlint .
+	$(GO) run ./cmd/cpxlint -baseline lint.baseline.json .
+
+# Refresh the accepted-findings baseline after a reviewed change.
+lint-baseline:
+	$(GO) run ./cmd/cpxlint -write-baseline lint.baseline.json .
 
 build:
 	$(GO) build ./...
@@ -31,6 +37,12 @@ race:
 # Race-detect the whole module (slower than the targeted `race` gate).
 test-race:
 	$(GO) test -race ./...
+
+# Short-mode race leg for the runtime, coupling and serving layers:
+# cheap enough for `make check`, still crosses the goroutine-per-rank
+# scheduler, the coupler's exchange phases and the HTTP job registry.
+test-race-short:
+	$(GO) test -race -short ./internal/mpi/ ./internal/coupler/ ./internal/serve/
 
 # End-to-end self-test of the cpxserve HTTP service on an ephemeral
 # port: health, a demo allocation served byte-identically from the
@@ -87,3 +99,7 @@ bench-sched:
 bench-serve:
 	$(GO) test -run '^$$' -bench 'BenchmarkServeAllocate' -benchmem -count 5 ./internal/serve/
 	$(GO) test -run '^$$' -bench 'BenchmarkAllocate' -benchmem -count 5 ./internal/perfmodel/
+
+# Time the full cpxlint sweep (wall clock recorded in BENCH_lint.json).
+bench-lint:
+	time $(GO) run ./cmd/cpxlint -baseline lint.baseline.json .

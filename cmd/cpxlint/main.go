@@ -1,25 +1,34 @@
 // Command cpxlint runs the cpx static-analysis suite (internal/analysis)
-// over the module: determinism, mpiuse, poolsafety and floatreduce.
+// over the module: determinism, mpiuse, poolsafety, floatreduce,
+// commmatch and hotalloc, plus the perfgate compiler-fact gate.
 //
 // Usage:
 //
-//	cpxlint [-tests] [module-root]
+//	cpxlint [-tests] [-json] [-perfgate=false] [-baseline file] [-write-baseline file] [module-root]
 //
 // The module root defaults to the nearest directory containing go.mod,
 // searching upward from the working directory. Diagnostics print as
 //
 //	path/file.go:line:col: [rule] message
 //
-// and are silenced by a reviewed suppression on the same line or the
-// line above:
+// or, with -json, as a JSON report on stdout. They are silenced by a
+// reviewed suppression on the same line or the line above:
 //
 //	//lint:allow <rule> <reason>
 //
-// Exit status: 0 clean, 1 unsuppressed diagnostics (including malformed
-// suppressions), 2 load/type-check failure.
+// -baseline compares findings against a checked-in baseline (written
+// with -write-baseline): findings present in the baseline are reported
+// but do not fail the run, so the gate only trips on NEW findings.
+// Baseline entries match on (rule, file, message) — line numbers drift
+// with unrelated edits and are deliberately not part of the key.
+//
+// Exit status: 0 clean, 1 unsuppressed non-baseline diagnostics
+// (including malformed suppressions), 2 load/type-check/perfgate-build
+// failure.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -33,6 +42,10 @@ import (
 func main() {
 	tests := flag.Bool("tests", false, "also analyze the packages' own _test.go files")
 	verbose := flag.Bool("v", false, "report suppressed diagnostics too")
+	jsonOut := flag.Bool("json", false, "emit the report as JSON on stdout")
+	perfgate := flag.Bool("perfgate", true, "run the perfgate compiler-fact gate on annotated packages")
+	baselinePath := flag.String("baseline", "", "fail only on findings not in this baseline file")
+	writeBaseline := flag.String("write-baseline", "", "write current findings as a baseline file and exit 0")
 	flag.Parse()
 
 	root := flag.Arg(0)
@@ -88,23 +101,168 @@ func main() {
 			kept = append(kept, k...)
 			suppressed = append(suppressed, s...)
 		}
+
+		if *perfgate {
+			pass := &analysis.Pass{
+				Analyzer:    analysis.PerfGateAnalyzer,
+				Fset:        loader.Fset,
+				Files:       pkg.Files,
+				Pkg:         pkg.Types,
+				Info:        pkg.Info,
+				SimCritical: simCritical,
+			}
+			if err := analysis.PerfGate(root, pass); err != nil {
+				fmt.Fprintln(os.Stderr, "cpxlint:", err)
+				os.Exit(2)
+			}
+			k, s := supps.Filter(pass.Diagnostics)
+			kept = append(kept, k...)
+			suppressed = append(suppressed, s...)
+		}
 	}
 
 	sortDiags(kept)
-	for _, d := range kept {
-		fmt.Println(relativize(root, d))
+	sortDiags(suppressed)
+
+	if *writeBaseline != "" {
+		if err := saveBaseline(*writeBaseline, root, kept); err != nil {
+			fmt.Fprintln(os.Stderr, "cpxlint:", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "cpxlint: wrote %d finding(s) to %s\n", len(kept), *writeBaseline)
+		return
 	}
-	if *verbose {
-		sortDiags(suppressed)
-		for _, d := range suppressed {
-			fmt.Printf("%s (suppressed)\n", relativize(root, d))
+
+	var baselined []analysis.Diagnostic
+	if *baselinePath != "" {
+		base, err := loadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cpxlint:", err)
+			os.Exit(2)
+		}
+		kept, baselined = splitBaseline(root, kept, base)
+	}
+
+	if *jsonOut {
+		emitJSON(root, len(pkgs), kept, baselined, suppressed)
+	} else {
+		for _, d := range kept {
+			fmt.Println(relativize(root, d))
+		}
+		for _, d := range baselined {
+			fmt.Printf("%s (baseline)\n", relativize(root, d))
+		}
+		if *verbose {
+			for _, d := range suppressed {
+				fmt.Printf("%s (suppressed)\n", relativize(root, d))
+			}
 		}
 	}
-	fmt.Fprintf(os.Stderr, "cpxlint: %d package(s), %d diagnostic(s), %d suppressed\n",
-		len(pkgs), len(kept), len(suppressed))
+	fmt.Fprintf(os.Stderr, "cpxlint: %d package(s), %d diagnostic(s), %d baselined, %d suppressed\n",
+		len(pkgs), len(kept), len(baselined), len(suppressed))
 	if len(kept) > 0 {
 		os.Exit(1)
 	}
+}
+
+// ---- baseline --------------------------------------------------------------
+
+// baselineEntry is one accepted finding. Line numbers are omitted on
+// purpose: they drift with unrelated edits, and a baseline that rots on
+// every refactor gets deleted rather than maintained.
+type baselineEntry struct {
+	Rule    string `json:"rule"`
+	File    string `json:"file"`
+	Message string `json:"message"`
+}
+
+type baselineFile struct {
+	Findings []baselineEntry `json:"findings"`
+}
+
+func baselineKey(e baselineEntry) string {
+	return e.Rule + "\x00" + e.File + "\x00" + e.Message
+}
+
+func entryFor(root string, d analysis.Diagnostic) baselineEntry {
+	file := d.Pos.Filename
+	if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+		file = filepath.ToSlash(rel)
+	}
+	return baselineEntry{Rule: d.Rule, File: file, Message: d.Message}
+}
+
+func loadBaseline(path string) (map[string]bool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	var bf baselineFile
+	if err := json.Unmarshal(data, &bf); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	keys := make(map[string]bool, len(bf.Findings))
+	for _, e := range bf.Findings {
+		keys[baselineKey(e)] = true
+	}
+	return keys, nil
+}
+
+func saveBaseline(path, root string, diags []analysis.Diagnostic) error {
+	bf := baselineFile{Findings: []baselineEntry{}}
+	for _, d := range diags {
+		bf.Findings = append(bf.Findings, entryFor(root, d))
+	}
+	data, err := json.MarshalIndent(bf, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// splitBaseline partitions diagnostics into new findings (fail the run)
+// and baseline-accepted ones (reported only).
+func splitBaseline(root string, diags []analysis.Diagnostic, base map[string]bool) (fresh, accepted []analysis.Diagnostic) {
+	for _, d := range diags {
+		if base[baselineKey(entryFor(root, d))] {
+			accepted = append(accepted, d)
+		} else {
+			fresh = append(fresh, d)
+		}
+	}
+	return fresh, accepted
+}
+
+// ---- output ----------------------------------------------------------------
+
+// jsonDiag is the machine-readable form of one diagnostic.
+type jsonDiag struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+}
+
+func toJSON(root string, diags []analysis.Diagnostic) []jsonDiag {
+	out := make([]jsonDiag, 0, len(diags))
+	for _, d := range diags {
+		e := entryFor(root, d)
+		out = append(out, jsonDiag{File: e.File, Line: d.Pos.Line, Col: d.Pos.Column, Rule: d.Rule, Message: d.Message})
+	}
+	return out
+}
+
+func emitJSON(root string, pkgs int, kept, baselined, suppressed []analysis.Diagnostic) {
+	report := struct {
+		Packages    int        `json:"packages"`
+		Diagnostics []jsonDiag `json:"diagnostics"`
+		Baselined   []jsonDiag `json:"baselined"`
+		Suppressed  []jsonDiag `json:"suppressed"`
+	}{pkgs, toJSON(root, kept), toJSON(root, baselined), toJSON(root, suppressed)}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	enc.Encode(report)
 }
 
 // findModuleRoot walks upward from the working directory to go.mod.

@@ -84,12 +84,15 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 
 // Analyzers returns the full suite in reporting order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{Determinism, MPIUse, PoolSafety, FloatReduce}
+	return []*Analyzer{Determinism, MPIUse, PoolSafety, FloatReduce, CommMatch, HotAlloc}
 }
 
 // AnalyzerNames returns the valid rule names for suppression validation.
+// The perfgate compiler-fact gate (perfgate.go) reports under its own
+// rule name without being a Pass-based analyzer, so it is added
+// explicitly.
 func AnalyzerNames() map[string]bool {
-	names := make(map[string]bool)
+	names := map[string]bool{PerfGateAnalyzer.Name: true}
 	for _, a := range Analyzers() {
 		names[a.Name] = true
 	}

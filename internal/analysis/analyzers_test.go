@@ -23,6 +23,14 @@ func TestFloatReduce(t *testing.T) {
 	analysistest.Run(t, ".", analysis.FloatReduce, "floatreduce")
 }
 
+func TestCommMatch(t *testing.T) {
+	analysistest.Run(t, ".", analysis.CommMatch, "commmatch")
+}
+
+func TestHotAlloc(t *testing.T) {
+	analysistest.Run(t, ".", analysis.HotAlloc, "hotalloc")
+}
+
 func TestIsSimCritical(t *testing.T) {
 	for path, want := range map[string]bool{
 		"cpx/internal/mpi":       true,

@@ -1,0 +1,244 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// This file is the suite's shared dataflow core: per-function def-use
+// chains over the type-checked AST, used to resolve rank, tag, peer and
+// communicator expressions to symbolic values (reaching definitions).
+// It is deliberately lightweight — a local variable resolves through its
+// definition only when exactly one assignment reaches every use (single
+// static definition, address never taken); everything else degrades to
+// an opaque value, so analyses built on it err toward silence rather
+// than false positives.
+
+// symKind classifies a resolved expression.
+type symKind uint8
+
+const (
+	// symOpaque is an expression the flow core cannot pin down.
+	symOpaque symKind = iota
+	// symConst is an integer constant (literal, named const, folded expr).
+	symConst
+	// symRank is comm.Rank() (or comm.WorldRank(), or the runtime's own
+	// rank field) plus a constant delta: rank, rank+1, rank-2, ...
+	symRank
+)
+
+// symVal is the symbolic value of one expression.
+type symVal struct {
+	kind symKind
+	// val is the constant for symConst, the delta for symRank.
+	val int64
+	// comm identifies the communicator whose rank symRank reads.
+	comm string
+}
+
+func constSym(v int64) symVal { return symVal{kind: symConst, val: v} }
+
+// funcFlow holds the reaching-definition chains of one function body.
+type funcFlow struct {
+	pass *Pass
+	// defs maps each local object to every expression assigned to it; a
+	// nil entry records an untraceable definition (tuple assignment,
+	// range variable, ++/--).
+	defs map[types.Object][]ast.Expr
+	// addrTaken marks objects whose address escapes (&x): any aliased
+	// write invalidates the chain, so resolution stops at them.
+	addrTaken map[types.Object]bool
+}
+
+// newFuncFlow builds the def-use chains for fn's body (including nested
+// function literals, whose assignments conservatively join the chains).
+func newFuncFlow(pass *Pass, body *ast.BlockStmt) *funcFlow {
+	fl := &funcFlow{
+		pass:      pass,
+		defs:      make(map[types.Object][]ast.Expr),
+		addrTaken: make(map[types.Object]bool),
+	}
+	record := func(id *ast.Ident, rhs ast.Expr) {
+		if id.Name == "_" {
+			return
+		}
+		obj := pass.Info.Defs[id]
+		if obj == nil {
+			obj = pass.Info.Uses[id]
+		}
+		if obj != nil {
+			fl.defs[obj] = append(fl.defs[obj], rhs)
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i, lhs := range n.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						record(id, n.Rhs[i])
+					}
+				}
+			} else {
+				// Tuple assignment from one call: untraceable.
+				for _, lhs := range n.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						record(id, nil)
+					}
+				}
+			}
+		case *ast.IncDecStmt:
+			if id, ok := n.X.(*ast.Ident); ok {
+				record(id, nil)
+			}
+		case *ast.RangeStmt:
+			for _, e := range [2]ast.Expr{n.Key, n.Value} {
+				if id, ok := e.(*ast.Ident); ok {
+					record(id, nil)
+				}
+			}
+		case *ast.GenDecl:
+			for _, spec := range n.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, id := range vs.Names {
+					if i < len(vs.Values) {
+						record(id, vs.Values[i])
+					}
+					// A var with no initializer keeps zero defs: the zero
+					// value is not a protocol-relevant constant.
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if id, ok := ast.Unparen(n.X).(*ast.Ident); ok {
+					if obj := pass.Info.Uses[id]; obj != nil {
+						fl.addrTaken[obj] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return fl
+}
+
+// singleDef returns the unique traceable definition of obj, if there is
+// exactly one and obj's address is never taken.
+func (fl *funcFlow) singleDef(obj types.Object) (ast.Expr, bool) {
+	if fl.addrTaken[obj] {
+		return nil, false
+	}
+	defs := fl.defs[obj]
+	if len(defs) != 1 || defs[0] == nil {
+		return nil, false
+	}
+	return defs[0], true
+}
+
+// resolve reduces e to a symbolic value by chasing constants, Rank()
+// calls and single-definition locals.
+func (fl *funcFlow) resolve(e ast.Expr) symVal {
+	return fl.resolveGuarded(e, make(map[types.Object]bool))
+}
+
+func (fl *funcFlow) resolveGuarded(e ast.Expr, visiting map[types.Object]bool) symVal {
+	if e == nil {
+		return symVal{}
+	}
+	// Constants first: go/types has already folded const expressions.
+	if tv, ok := fl.pass.Info.Types[e]; ok && tv.Value != nil {
+		if tv.Value.Kind() == constant.Int {
+			if v, exact := constant.Int64Val(constant.ToInt(tv.Value)); exact {
+				return constSym(v)
+			}
+		}
+		return symVal{}
+	}
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := fl.pass.Info.Uses[e]
+		if obj == nil || visiting[obj] {
+			return symVal{}
+		}
+		def, ok := fl.singleDef(obj)
+		if !ok {
+			return symVal{}
+		}
+		visiting[obj] = true
+		v := fl.resolveGuarded(def, visiting)
+		delete(visiting, obj)
+		return v
+	case *ast.CallExpr:
+		if recv, ok := rankCall(fl.pass, e); ok {
+			return symVal{kind: symRank, comm: fl.commIDOfRendered(e, recv)}
+		}
+	case *ast.SelectorExpr:
+		// The runtime's own rank field (c.rank) inside internal/mpi.
+		if (e.Sel.Name == "rank" || e.Sel.Name == "worldRank") && isCommReceiver(fl.pass, e.X) {
+			return symVal{kind: symRank, comm: fl.commID(e.X)}
+		}
+	case *ast.BinaryExpr:
+		x := fl.resolveGuarded(e.X, visiting)
+		y := fl.resolveGuarded(e.Y, visiting)
+		switch e.Op {
+		case token.ADD:
+			if x.kind == symRank && y.kind == symConst {
+				return symVal{kind: symRank, comm: x.comm, val: x.val + y.val}
+			}
+			if x.kind == symConst && y.kind == symRank {
+				return symVal{kind: symRank, comm: y.comm, val: y.val + x.val}
+			}
+		case token.SUB:
+			if x.kind == symRank && y.kind == symConst {
+				return symVal{kind: symRank, comm: x.comm, val: x.val - y.val}
+			}
+		}
+	}
+	return symVal{}
+}
+
+// commID resolves a communicator expression to an identity string:
+// single-definition locals unwrap to their defining expression, so `w :=
+// c` and later uses of w compare equal to c within one function.
+func (fl *funcFlow) commID(e ast.Expr) string {
+	return fl.commIDGuarded(e, make(map[types.Object]bool))
+}
+
+// commIDOfRendered is commID for a receiver already rendered by
+// rankCall; re-resolves from the call's receiver expression so local
+// aliases still unify.
+func (fl *funcFlow) commIDOfRendered(call *ast.CallExpr, rendered string) string {
+	if sel, ok := methodCall(call); ok {
+		return fl.commID(sel.X)
+	}
+	return rendered
+}
+
+func (fl *funcFlow) commIDGuarded(e ast.Expr, visiting map[types.Object]bool) string {
+	e = ast.Unparen(e)
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := fl.pass.Info.Uses[id]; obj != nil && !visiting[obj] {
+			if def, ok := fl.singleDef(obj); ok && isCommReceiver(fl.pass, def) {
+				visiting[obj] = true
+				s := fl.commIDGuarded(def, visiting)
+				delete(visiting, obj)
+				return s
+			}
+		}
+	}
+	return exprString(e)
+}
+
+// sameTag reports whether a send tag could match a recv tag: equal
+// constants match, and an opaque side is assumed compatible.
+func sameTag(send, recv symVal) bool {
+	if send.kind != symConst || recv.kind != symConst {
+		return true
+	}
+	return send.val == recv.val
+}

@@ -1,0 +1,175 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// HotAlloc flags heap-allocating constructs introduced into code marked
+// as a performance hot path. A file-level `//perf:hotpath` comment marks
+// every function in the file; the same marker in a function's doc
+// comment marks just that function. Inside marked code the analyzer
+// reports:
+//
+//   - function literals (closures allocate their environment);
+//   - make/new and address-taken or reference-typed composite literals;
+//   - append (growth reallocates the backing array);
+//   - implicit boxing: a concrete value passed, assigned, returned or
+//     converted into an interface.
+//
+// These are exactly the constructs that silently moved the runtime's
+// per-op allocation count before the pooled-message work; reviewed
+// occurrences (amortised growth, setup paths) carry a //lint:allow with
+// the reason.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc: "flag new heap-allocating constructs (closures, boxing, append " +
+		"growth, make/new) in code marked //perf:hotpath",
+	Run: runHotAlloc,
+}
+
+const hotpathMarker = "perf:hotpath"
+
+// hasMarker reports whether any comment in the group is the marker.
+func hasMarker(groups ...*ast.CommentGroup) bool {
+	for _, g := range groups {
+		if g == nil {
+			continue
+		}
+		for _, c := range g.List {
+			text := strings.TrimPrefix(strings.TrimPrefix(c.Text, "//"), "/*")
+			if strings.HasPrefix(strings.TrimSpace(text), hotpathMarker) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// fileMarked reports whether the file carries a top-level marker: in
+// the package doc comment or any comment group above the package
+// clause. Markers further down belong to individual declarations.
+func fileMarked(f *ast.File) bool {
+	if hasMarker(f.Doc) {
+		return true
+	}
+	for _, g := range f.Comments {
+		if g.End() < f.Package && hasMarker(g) {
+			return true
+		}
+	}
+	return false
+}
+
+func runHotAlloc(pass *Pass) {
+	for _, f := range pass.Files {
+		whole := fileMarked(f)
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if whole || hasMarker(fd.Doc) {
+				checkHotFunc(pass, fd)
+			}
+		}
+	}
+}
+
+func checkHotFunc(pass *Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "closure allocates its environment on the hot path; hoist it or predeclare the function")
+			return false // the literal's body is cold until invoked elsewhere
+		case *ast.CallExpr:
+			checkHotCall(pass, n)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					pass.Reportf(n.Pos(), "address-taken composite literal allocates on the hot path")
+				}
+			}
+		case *ast.CompositeLit:
+			if t := pass.typeOf(n); t != nil {
+				switch t.Underlying().(type) {
+				case *types.Slice, *types.Map:
+					pass.Reportf(n.Pos(), "%s literal allocates its backing store on the hot path", exprString(n.Type))
+				}
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if i < len(n.Lhs) {
+					checkBoxing(pass, pass.typeOf(n.Lhs[i]), rhs, "assignment")
+				}
+			}
+		}
+		return true
+	})
+}
+
+func checkHotCall(pass *Pass, call *ast.CallExpr) {
+	// Builtins and interface conversions first.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := pass.Info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "append":
+				pass.Reportf(call.Pos(), "append may grow its backing array on the hot path; preallocate or reuse a buffer")
+			case "make", "new":
+				pass.Reportf(call.Pos(), "%s allocates on the hot path", b.Name())
+			}
+			return
+		}
+	}
+	if tv, ok := pass.Info.Types[call.Fun]; ok && tv.IsType() {
+		// Conversion T(x): boxing when T is an interface.
+		if len(call.Args) == 1 {
+			checkBoxing(pass, tv.Type, call.Args[0], "conversion")
+		}
+		return
+	}
+	sig, _ := pass.typeOf(call.Fun).(*types.Signature)
+	if sig == nil {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // forwarding an existing slice: no boxing here
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		checkBoxing(pass, pt, arg, "argument")
+	}
+}
+
+// checkBoxing reports a concrete value flowing into an interface.
+func checkBoxing(pass *Pass, dst types.Type, src ast.Expr, what string) {
+	if dst == nil {
+		return
+	}
+	if _, ok := dst.Underlying().(*types.Interface); !ok {
+		return
+	}
+	st := pass.typeOf(src)
+	if st == nil {
+		return
+	}
+	if _, ok := st.Underlying().(*types.Interface); ok {
+		return // interface-to-interface: no new box
+	}
+	if b, ok := st.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return
+	}
+	if _, ok := st.Underlying().(*types.Pointer); ok {
+		return // pointers fit an iface word without allocating
+	}
+	pass.Reportf(src.Pos(), "%s boxes %s into an interface on the hot path; the box allocates", what, exprString(src))
+}

@@ -1,0 +1,58 @@
+package analysis_test
+
+import (
+	"os/exec"
+	"sort"
+	"strings"
+	"testing"
+
+	"cpx/internal/analysis"
+)
+
+// TestLoaderCoversWholeModule asserts the Loader's sweep matches the go
+// tool's own package list — in particular that cmd/... and the root
+// package are analyzed, not just internal/.... A package the loader
+// misses is a package the lint gate silently stops guarding.
+func TestLoaderCoversWholeModule(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-module load in -short mode")
+	}
+	root := "../.."
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		t.Fatalf("LoadAll: %v", err)
+	}
+	var got []string
+	sawCmd := false
+	for _, p := range pkgs {
+		got = append(got, p.ImportPath)
+		if strings.HasPrefix(p.ImportPath, "cpx/cmd/") {
+			sawCmd = true
+		}
+	}
+	if !sawCmd {
+		t.Fatalf("loader swept no cpx/cmd/... packages: %v", got)
+	}
+
+	cmd := exec.Command("go", "list", "./...")
+	cmd.Dir = root
+	out, err := cmd.Output()
+	if err != nil {
+		t.Skipf("go list unavailable: %v", err)
+	}
+	var want []string
+	for _, line := range strings.Split(strings.TrimSpace(string(out)), "\n") {
+		if line != "" {
+			want = append(want, line)
+		}
+	}
+	sort.Strings(got)
+	sort.Strings(want)
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("loader package set diverges from `go list ./...`:\n  loader: %v\n  go list: %v", got, want)
+	}
+}

@@ -1,0 +1,92 @@
+package analysis_test
+
+import (
+	"strings"
+	"testing"
+
+	"cpx/internal/analysis"
+)
+
+// loadPerfGateFixture loads the standalone fixture module under
+// testdata/perfgate and runs the gate over its root package.
+func runPerfGateFixture(t *testing.T) []analysis.Diagnostic {
+	t.Helper()
+	root := "testdata/perfgate"
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		t.Fatalf("LoadAll: %v", err)
+	}
+	if errs := loader.TypeErrors(); len(errs) > 0 {
+		t.Fatalf("type errors in fixture: %v", errs)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("fixture module has %d packages, want 1", len(pkgs))
+	}
+	pkg := pkgs[0]
+	pass := &analysis.Pass{
+		Analyzer: analysis.PerfGateAnalyzer,
+		Fset:     loader.Fset,
+		Files:    pkg.Files,
+		Pkg:      pkg.Types,
+		Info:     pkg.Info,
+	}
+	if err := analysis.PerfGate(root, pass); err != nil {
+		t.Fatalf("PerfGate: %v", err)
+	}
+	return pass.Diagnostics
+}
+
+// TestPerfGateFailures proves the gate actually fails when a
+// //perf:inline function is pushed over the inliner budget or a
+// //perf:noescape parameter/local escapes — and stays silent for the
+// inlinable, non-escaping control.
+func TestPerfGateFailures(t *testing.T) {
+	diags := runPerfGateFixture(t)
+
+	wants := []struct {
+		fn, substr string
+	}{
+		{"tooBig", "marked //perf:inline but no longer inlines"},
+		{"leaks", "parameter p leaks to the heap"},
+		{"heapLocal", "local v is moved to the heap"},
+	}
+	for _, w := range wants {
+		found := false
+		for _, d := range diags {
+			if strings.Contains(d.Message, w.fn) && strings.Contains(d.Message, w.substr) {
+				found = true
+				if d.Rule != "perfgate" {
+					t.Errorf("%s: diagnostic rule = %q, want perfgate", w.fn, d.Rule)
+				}
+			}
+		}
+		if !found {
+			t.Errorf("no diagnostic for %s containing %q; got %v", w.fn, w.substr, diags)
+		}
+	}
+	for _, d := range diags {
+		if strings.Contains(d.Message, "fastAdd") {
+			t.Errorf("control function fastAdd was flagged: %v", d)
+		}
+	}
+	if len(diags) != len(wants) {
+		t.Errorf("got %d diagnostics, want %d: %v", len(diags), len(wants), diags)
+	}
+}
+
+// TestPerfGateNoAnnotationsIsFree asserts the gate never shells out for
+// packages without perf annotations: an empty file set must return
+// instantly with no findings and no error even with a bogus module root.
+func TestPerfGateNoAnnotationsIsFree(t *testing.T) {
+	pass := &analysis.Pass{Analyzer: analysis.PerfGateAnalyzer}
+	if err := analysis.PerfGate("/nonexistent", pass); err != nil {
+		t.Fatalf("PerfGate on unannotated package: %v", err)
+	}
+	if len(pass.Diagnostics) != 0 {
+		t.Fatalf("unexpected diagnostics: %v", pass.Diagnostics)
+	}
+}

@@ -1,0 +1,65 @@
+// Package perfgate is a standalone fixture module for the perfgate
+// compiler-fact gate: each function below pins one gate behaviour
+// (inlinable control, over-budget inline breach, leaking parameter,
+// heap-moved local). perfgate_test.go loads this module and asserts
+// the exact set of findings.
+package perfgate
+
+// fastAdd is the passing control: tiny, no escapes.
+//
+//perf:inline
+//perf:noescape
+func fastAdd(a, b float64) float64 {
+	return a + b
+}
+
+// tooBig is deliberately pushed far over the gc inliner budget (80):
+// perfgate must fail its //perf:inline annotation with the compiler's
+// cost in the message.
+//
+//perf:inline
+func tooBig(xs []float64) float64 {
+	s := 0.0
+	for i := range xs {
+		v := xs[i]
+		s += v
+		s += v * v
+		s += v * v * v
+		s += v / (v + 1)
+		s += v / (v + 2)
+		s += v / (v + 3)
+		s += v / (v + 4)
+		s += v / (v + 5)
+		s += v / (v + 6)
+		s += v / (v + 7)
+		s += v / (v + 8)
+		s += v / (v + 9)
+		s += v / (v + 10)
+		s += v / (v + 11)
+		s += v / (v + 12)
+		s += v / (v + 13)
+		s += v / (v + 14)
+		s += v / (v + 15)
+		s += v / (v + 16)
+	}
+	return s
+}
+
+var sink *int
+
+// leaks stores its parameter in a global, so the compiler reports
+// "leaking param: p": the //perf:noescape annotation must fail.
+//
+//perf:noescape
+func leaks(p *int) {
+	sink = p
+}
+
+// heapLocal returns the address of a local, so the compiler reports
+// "moved to heap: v": the //perf:noescape annotation must fail.
+//
+//perf:noescape
+func heapLocal(n int) *int {
+	v := n * 2
+	return &v
+}

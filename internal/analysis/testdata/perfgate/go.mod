@@ -1,0 +1,3 @@
+module perfgate
+
+go 1.24

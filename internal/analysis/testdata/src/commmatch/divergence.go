@@ -1,0 +1,54 @@
+package commmatch
+
+// ---- diverging collective sequences -----------------------------------------
+
+func divergingCollectives(c *Comm, data []float64) {
+	r := c.Rank()
+	if r == 0 { // want `collective sequence diverges across this rank-conditioned branch: \[Bcast Barrier\] vs \[Barrier\]`
+		c.Bcast(0, data)
+		c.Barrier()
+	} else {
+		c.Barrier()
+	}
+}
+
+func divergingKinds(c *Comm, data []float64) {
+	if c.Rank() < 2 { // want `collective sequence diverges across this rank-conditioned branch: \[Bcast\] vs \[Reduce\]`
+		c.Bcast(0, data)
+	} else {
+		c.Reduce(0, data)
+	}
+}
+
+// sameSequenceIsFine: both arms run the same collective sequence (the
+// arguments may differ — kind-level matching keeps the check quiet on
+// root-switching patterns).
+func sameSequenceIsFine(c *Comm, data []float64) {
+	if c.Rank() == 0 {
+		c.Bcast(0, data)
+		c.Barrier()
+	} else {
+		c.Bcast(0, data)
+		c.Barrier()
+	}
+}
+
+// nonRankBranchIsFine: divergence only matters when the branch splits
+// the rank space.
+func nonRankBranchIsFine(c *Comm, n int, data []float64) {
+	if n > 4 {
+		c.Bcast(0, data)
+	} else {
+		c.Reduce(0, data)
+	}
+}
+
+func suppressedDivergence(c *Comm, data []float64) {
+	//lint:allow commmatch ranks re-join at the barrier inside the helper below
+	if c.Rank() == 0 {
+		c.Bcast(0, data)
+		c.Barrier()
+	} else {
+		c.Barrier()
+	}
+}

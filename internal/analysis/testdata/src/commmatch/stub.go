@@ -1,0 +1,32 @@
+// Package commmatch exercises the commmatch protocol analyzer with a
+// local stub of the runtime's communicator API. Tag constants are
+// unique per scenario because send/receive matching is package-wide.
+package commmatch
+
+// Comm mirrors the runtime communicator (matched by type name).
+type Comm struct {
+	rank int
+}
+
+func (c *Comm) Rank() int      { return c.rank }
+func (c *Comm) WorldRank() int { return c.rank }
+
+func (c *Comm) Send(to, tag int, data []float64)        {}
+func (c *Comm) SendInts(to, tag int, data []int)        {}
+func (c *Comm) Isend(to, tag int, data []float64) *Request { return &Request{} }
+func (c *Comm) Recv(from, tag int) ([]float64, int, int) { return nil, 0, 0 }
+func (c *Comm) RecvInts(from, tag int) ([]int, int, int) { return nil, 0, 0 }
+func (c *Comm) Irecv(from, tag int) *Request            { return &Request{} }
+func (c *Comm) RecvAll(n, tag int) ([][]float64, []int) { return nil, nil }
+func (c *Comm) SendRecv(to, sendTag int, send []float64, from, recvTag int) []float64 {
+	return nil
+}
+
+func (c *Comm) Barrier()                       {}
+func (c *Comm) Bcast(root int, data []float64) []float64 { return data }
+func (c *Comm) Reduce(root int, data []float64) []float64 { return data }
+
+// Request mirrors the runtime's nonblocking handle.
+type Request struct{}
+
+func (r *Request) Wait() {}

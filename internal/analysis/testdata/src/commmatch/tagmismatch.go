@@ -1,0 +1,48 @@
+package commmatch
+
+// ---- constant tag / communicator mismatches ---------------------------------
+
+// tagMismatch: both endpoints are in view and their constant tags
+// disagree; the diagnostic names the receive so the report carries both
+// call sites.
+func tagMismatch(c *Comm, data []float64) {
+	r := c.Rank()
+	if r == 0 {
+		c.Send(1, 201, data) // want `Send with tag 201 on c has no matching receive: the nearest receive on c \(tagmismatch\.go:\d+\) uses tag 202 — constant tag mismatch`
+	} else if r == 1 {
+		c.Recv(0, 202)
+	}
+}
+
+func suppressedTagMismatch(c *Comm, data []float64) {
+	r := c.Rank()
+	if r == 0 {
+		// Tag 212 is rewritten in-flight by the harness interposer.
+		c.Send(1, 211, data) //lint:allow commmatch harness rewrites the tag before delivery
+	} else if r == 1 {
+		c.Recv(0, 212)
+	}
+}
+
+// commMismatch: the receive for the tag exists but listens on a
+// different communicator.
+func commMismatch(world, sub *Comm, data []float64) {
+	r := world.Rank()
+	if r == 0 {
+		world.Send(1, 301, data) // want `Send with tag 301 on world has no matching receive on that communicator: the receive with this tag \(tagmismatch\.go:\d+\) listens on sub — communicator mismatch`
+	} else if r == 1 {
+		sub.Recv(0, 301)
+	}
+}
+
+// aliasedCommMatches: a single-definition alias of the communicator
+// resolves to the same identity, so no mismatch is reported.
+func aliasedCommMatches(world *Comm, data []float64) {
+	w := world
+	r := world.Rank()
+	if r == 0 {
+		world.Send(1, 302, data)
+	} else if r == 1 {
+		w.Recv(0, 302)
+	}
+}

@@ -1,0 +1,58 @@
+package commmatch
+
+// ---- unmatched rank-conditioned sends ---------------------------------------
+
+func unmatchedSend(c *Comm, data []float64) {
+	r := c.Rank()
+	if r == 0 {
+		c.Send(1, 101, data) // want `rank-conditioned Send with tag 101 on c has no reachable matching receive`
+	}
+}
+
+func unmatchedIsend(c *Comm, data []float64) {
+	if c.Rank() == 0 {
+		req := c.Isend(1, 105, data) // want `rank-conditioned Isend with tag 105 on c has no reachable matching receive`
+		req.Wait()
+	}
+}
+
+func suppressedUnmatched(c *Comm, data []float64) {
+	if c.Rank() == 0 {
+		// The matching receive lives in a sibling package's collector loop.
+		c.Send(1, 102, data) //lint:allow commmatch receiver is external to this package by design
+	}
+}
+
+// matchedAcrossFunctions: the receive lives in another function of the
+// same package — matched on the constant tag, no diagnostic.
+func matchedSender(c *Comm, data []float64) {
+	if c.Rank() == 0 {
+		c.Send(1, 103, data)
+	}
+}
+
+func matchedReceiver(c *Comm) []float64 {
+	if c.Rank() == 1 {
+		got, _, _ := c.Recv(0, 103)
+		return got
+	}
+	return nil
+}
+
+// opaqueTagIsFine: without a constant tag the matcher stays silent.
+func opaqueTagSend(c *Comm, tag int, data []float64) {
+	if c.Rank() == 0 {
+		c.Send(1, tag, data)
+	}
+}
+
+// unconditionedIsFine: only rank-conditioned sends are protocol-shaped
+// enough to demand a package-local receive.
+func unconditionedSend(c *Comm, data []float64) {
+	c.Send(1, 104, data)
+}
+
+// selfContainedExchange: SendRecv carries both halves and matches itself.
+func selfContainedExchange(c *Comm, data []float64) []float64 {
+	return c.SendRecv(1, 106, data, 1, 106)
+}

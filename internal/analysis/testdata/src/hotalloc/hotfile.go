@@ -1,0 +1,51 @@
+//perf:hotpath
+// Package hotalloc exercises the hotalloc analyzer: the marker above
+// the package clause marks every function in this file as hot.
+package hotalloc
+
+type payload struct {
+	vals []float64
+}
+
+func sink(v any) {}
+
+func hotEverything(xs []float64, n int) []float64 {
+	buf := make([]float64, n) // want `make allocates on the hot path`
+	for i := range xs {
+		buf = append(buf, xs[i]) // want `append may grow its backing array on the hot path`
+	}
+	p := &payload{vals: buf} // want `address-taken composite literal allocates on the hot path`
+	f := func() int { return n } // want `closure allocates its environment on the hot path`
+	_ = f
+	sink(n) // want `argument boxes n into an interface on the hot path`
+	return p.vals
+}
+
+func hotBoxing(x float64) {
+	var v any
+	v = x // want `assignment boxes x into an interface on the hot path`
+	_ = v
+	_ = any(x) // want `conversion boxes x into an interface on the hot path`
+}
+
+func hotSliceLit() []int {
+	return []int{1, 2, 3} // want `\[\]int literal allocates its backing store on the hot path`
+}
+
+// hotClean touches no allocator: field math and indexing stay silent.
+func hotClean(p *payload, i int) float64 {
+	if i < len(p.vals) {
+		return p.vals[i] * 2
+	}
+	return 0
+}
+
+func hotSuppressed(xs []float64) []float64 {
+	// Growth is amortised: the buffer doubles and is recycled run-to-run.
+	return append(xs, 1.0) //lint:allow hotalloc amortised growth on a recycled buffer
+}
+
+// pointerNoBox: pointers fit the interface word; no allocation report.
+func pointerNoBox(p *payload) {
+	sink(p)
+}

@@ -1,0 +1,17 @@
+package hotalloc
+
+// This file carries no file-level marker: only the annotated function
+// is checked.
+
+// deliver is the per-message fast path.
+//
+//perf:hotpath
+func deliver(dst *payload, v float64) {
+	dst.vals = append(dst.vals, v) // want `append may grow its backing array on the hot path`
+}
+
+// setup runs once per simulation; its allocations are fine.
+func setup(n int) *payload {
+	vals := make([]float64, 0, n)
+	return &payload{vals: vals}
+}

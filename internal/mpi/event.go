@@ -263,8 +263,12 @@ func (ev *eventLoop) deadlockError() error {
 
 // ---- event heap ------------------------------------------------------------
 
+// pushHeap inserts a wakeup into the time-ordered event heap. The heap's
+// backing array is sized once at loop start and reused run-long.
+//
+//perf:hotpath
 func (ev *eventLoop) pushHeap(t float64, rank int32) {
-	h := append(ev.heap, evItem{t, rank})
+	h := append(ev.heap, evItem{t, rank}) //lint:allow hotalloc amortised growth on the run-long heap array
 	for i := len(h) - 1; i > 0; {
 		p := (i - 1) / 2
 		if !h[i].before(h[p]) {
@@ -276,6 +280,9 @@ func (ev *eventLoop) pushHeap(t float64, rank int32) {
 	ev.heap = h
 }
 
+// popHeap removes and returns the rank with the earliest wakeup.
+//
+//perf:hotpath
 func (ev *eventLoop) popHeap() int32 {
 	h := ev.heap
 	top := h[0].rank

@@ -21,6 +21,12 @@ import "cpx/internal/cluster"
 // ttPair returns the intra- and inter-node transfer times for one
 // payload size, evaluated with exactly cluster.TransferTime's
 // expression (latency + bytes/bandwidth from the same Link terms).
+// It runs once per rank pair per replayed collective stage, so it must
+// inline into the replay loops and keep the machine on the stack.
+//
+//perf:inline
+//perf:noescape
+//perf:hotpath
 func ttPair(mach *cluster.Machine, bytes int) (intra, inter float64) {
 	return mach.IntraNodeLatency + float64(bytes)/mach.IntraNodeBW,
 		mach.InterNodeLatency + float64(bytes)/mach.EffectiveInterBW()

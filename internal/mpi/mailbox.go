@@ -36,11 +36,19 @@ type bucket struct {
 
 func (bk *bucket) empty() bool { return bk.head == len(bk.msgs) }
 
-func (bk *bucket) push(m *message) { bk.msgs = append(bk.msgs, m) }
+// push appends to the FIFO tail. Growth is amortised: buckets are
+// recycled through the mailbox free list with capacity intact.
+//
+//perf:hotpath
+func (bk *bucket) push(m *message) {
+	bk.msgs = append(bk.msgs, m) //lint:allow hotalloc amortised growth on a free-listed bucket
+}
 
 // pop removes and returns the FIFO head. The vacated slot is nilled so
 // the slice tail never retains a consumed message (or its payload)
 // against the GC.
+//
+//perf:hotpath
 func (bk *bucket) pop() *message {
 	m := bk.msgs[bk.head]
 	bk.msgs[bk.head] = nil
@@ -112,12 +120,14 @@ func (b *mailbox) putDirect(m *message) { b.enqueue(m) }
 
 // enqueue stamps the arrival sequence and appends to the (ctx, src, tag)
 // FIFO bucket. Caller holds b.mu (or is the event loop's only thread).
+//
+//perf:hotpath
 func (b *mailbox) enqueue(m *message) {
 	m.seq = b.seq
 	b.seq++
 	k := bkey{m.ctx, m.src, m.tag}
 	if b.buckets == nil {
-		b.buckets = make(map[bkey]*bucket)
+		b.buckets = make(map[bkey]*bucket) //lint:allow hotalloc one bucket map per mailbox, created on first message
 	}
 	bk := b.buckets[k]
 	if bk == nil {

@@ -291,6 +291,10 @@ func (p *proc) die() {
 	panic(errKilled)
 }
 
+// chargeCompute advances the rank's clock by s seconds of compute.
+// Runs once per Compute call — the densest charge path in a simulation.
+//
+//perf:hotpath
 func (p *proc) chargeCompute(s float64) {
 	if p.world != nil && p.world.plan != nil {
 		s = p.world.plan.ComputeSeconds(p.node, p.clock, s)
@@ -319,6 +323,8 @@ func (p *proc) chargeCompute(s float64) {
 
 // chargeCommAs charges s seconds of communication, recording a timeline
 // event of the given kind when tracing is on.
+//
+//perf:hotpath
 func (p *proc) chargeCommAs(s float64, kind trace.EventKind, peer, bytes, tag int) {
 	t0 := p.clock
 	t1, died := p.clamp(p.clock + s)
@@ -346,6 +352,11 @@ func (p *proc) chargeCommAs(s float64, kind trace.EventKind, peer, bytes, tag in
 	}
 }
 
+// chargeComm charges plain communication time. The wrapper must stay
+// under the inliner budget so the constant arguments fold at the sites.
+//
+//perf:inline
+//perf:hotpath
 func (p *proc) chargeComm(s float64) { p.chargeCommAs(s, trace.EvComm, -1, 0, 0) }
 
 // waitUntil advances the clock to a message's arrival time, accounting

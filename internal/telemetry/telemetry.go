@@ -141,12 +141,13 @@ type Collector struct {
 	// arrival fell in sample bucket b (clamped to maxSamples+1).
 	// Recorded at receive completion, when the arrival timestamp is in
 	// hand; Finalize prefix-sums it onto the sample grid to materialise
-	// mailbox depth. arrPtr caches the last bucket's counter with the
-	// bucket's exact edges (arrLo, arrHi] so the repeat-bucket fast
-	// path in Received skips bucketOf; the zero value (empty interval,
-	// nil pointer) forces the first receive down the slow path.
-	arrLo    float64
-	arrHi    float64
+	// mailbox depth. arrPtr caches the counter of the bucket holding
+	// arrLast, the previous arrival time, so the repeat-arrival fast
+	// path in Received is a single equality compare — virtual arrivals
+	// cluster at identical timestamps during synchronized phases. The
+	// constructors seed arrLast with NaN (never equal), forcing the
+	// first receive down the slow path before arrPtr is read.
+	arrLast  float64
 	arrPtr   *uint64
 	arrivals []uint64
 }
@@ -162,6 +163,7 @@ func NewCollector(rank int, cfg *Config) *Collector {
 		observer:    cfg.Observer,
 		nextK:       1,
 		nextT:       iv,
+		arrLast:     math.NaN(),
 	}
 	return c
 }
@@ -196,6 +198,7 @@ func NewCollectors(n int, cfg *Config) []*Collector {
 		c.observer = cfg.Observer
 		c.nextK = 1
 		c.nextT = iv
+		c.arrLast = math.NaN()
 		c.samples = sampleSlab[i*sampleSeed : i*sampleSeed : (i+1)*sampleSeed]
 		c.arrivals = arrivalSlab[i*arrivalSeed : i*arrivalSeed : (i+1)*arrivalSeed]
 		out[i] = c
@@ -243,6 +246,9 @@ func (c *Collector) Advance(t0, t1 float64, kind ChargeKind) {
 // field add, with no per-kind indirection to load.
 
 // AdvanceCompute is Advance with ChargeCompute.
+//
+//perf:inline
+//perf:noescape
 func (c *Collector) AdvanceCompute(t0, t1 float64) {
 	if t1 < c.nextT {
 		c.cur.Compute += t1 - t0
@@ -252,6 +258,9 @@ func (c *Collector) AdvanceCompute(t0, t1 float64) {
 }
 
 // AdvanceComm is Advance with ChargeComm.
+//
+//perf:inline
+//perf:noescape
 func (c *Collector) AdvanceComm(t0, t1 float64) {
 	if t1 < c.nextT {
 		c.cur.Comm += t1 - t0
@@ -261,6 +270,9 @@ func (c *Collector) AdvanceComm(t0, t1 float64) {
 }
 
 // AdvanceWait is Advance with ChargeWait.
+//
+//perf:inline
+//perf:noescape
 func (c *Collector) AdvanceWait(t0, t1 float64) {
 	if t1 < c.nextT {
 		c.cur.Wait += t1 - t0
@@ -271,6 +283,8 @@ func (c *Collector) AdvanceWait(t0, t1 float64) {
 
 // Finish stamps the rank's final virtual clock on the cumulative
 // totals. Call once when the rank completes (or dies).
+//
+//perf:inline
 func (c *Collector) Finish(clock float64) {
 	if clock > c.cur.T {
 		c.cur.T = clock
@@ -351,6 +365,9 @@ func (c *Collector) emit(t float64) {
 }
 
 // Sent records one outgoing message.
+//
+//perf:inline
+//perf:noescape
 func (c *Collector) Sent(bytes int) {
 	c.cur.MsgsSent++
 	c.cur.BytesSent += uint64(bytes)
@@ -359,23 +376,28 @@ func (c *Collector) Sent(bytes int) {
 // Received records one completed receive and the received message's
 // virtual arrival time. Receives are counted at the virtual time the
 // receive overhead finished charging, which is always >= the arrival —
-// mailbox depth can therefore never go negative. Arrivals cluster in
-// clock order, so the bucket of the previous arrival is cached: the
-// common repeat-bucket case is two compares and an add, small enough
-// to inline at the runtime's receive sites.
+// mailbox depth can therefore never go negative. Arrivals cluster at
+// identical virtual timestamps (collective phases deliver whole waves
+// at one clock value), so the previous arrival's bucket counter is
+// cached keyed by the exact arrival time: the repeat case is one
+// equality compare and an add, small enough to inline at the runtime's
+// receive sites (perfgate holds it to the inliner budget).
+//
+//perf:inline
+//perf:noescape
 func (c *Collector) Received(bytes uint64, arrival float64) {
 	c.cur.MsgsRecv++
 	c.cur.BytesRecv += bytes
-	if c.arrLo < arrival && arrival <= c.arrHi {
+	if arrival == c.arrLast {
 		*c.arrPtr++
-		return
+	} else {
+		c.receivedSlow(arrival)
 	}
-	c.receivedSlow(arrival)
 }
 
-// receivedSlow buckets an arrival outside the cached bucket and
-// refreshes the cache. The cache is only ever set to a bucket the
-// arrivals array already covers, so the fast path needs no length
+// receivedSlow buckets an arrival that differs from the cached arrival
+// time and refreshes the cache. The cache is only ever set to a bucket
+// the arrivals array already covers, so the fast path needs no length
 // check beyond the compiler's own.
 func (c *Collector) receivedSlow(arrival float64) {
 	b := c.bucketOf(arrival)
@@ -407,21 +429,16 @@ func (c *Collector) receivedSlow(arrival float64) {
 		}
 	}
 	c.arrivals[b]++
-	// Cache the bucket's counter and exact edges — the same k*interval
-	// products bucketOf compares against, so the fast path classifies
-	// borderline arrivals identically to a fresh bucketOf call.
+	// Cache the bucket's counter keyed by the exact arrival time: a
+	// repeat of the same virtual timestamp lands in the same bucket by
+	// construction, so the fast path needs no edge arithmetic at all.
 	c.arrPtr = &c.arrivals[b]
-	c.arrLo = float64(b-1) * c.interval
-	if b > c.maxSamples {
-		// The overflow bucket holds everything past the last storable
-		// boundary; it has no upper edge.
-		c.arrHi = math.Inf(1)
-	} else {
-		c.arrHi = float64(b) * c.interval
-	}
+	c.arrLast = arrival
 }
 
 // Collective records entry into an outermost collective operation.
+//
+//perf:inline
 func (c *Collector) Collective() { c.cur.Collectives++ }
 
 // Totals returns the cumulative counters at the rank's final clock.
