@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: check vet lint lint-baseline build test test-race test-race-short race serve-smoke telemetry-smoke sched-smoke bench-smoke bench-trace bench-mpi bench-fault bench-serve bench-telemetry bench-sched bench-lint
+.PHONY: check vet lint lint-baseline build test test-race test-race-short race serve-smoke telemetry-smoke sched-smoke particle-smoke bench-smoke bench-trace bench-mpi bench-fault bench-serve bench-telemetry bench-sched bench-particle bench-lint
 
-check: vet lint build test race test-race-short serve-smoke telemetry-smoke sched-smoke bench-smoke bench-fault
+check: vet lint build test race test-race-short serve-smoke telemetry-smoke sched-smoke particle-smoke bench-smoke bench-fault bench-particle
 
 vet:
 	$(GO) vet ./...
@@ -64,6 +64,12 @@ telemetry-smoke:
 sched-smoke:
 	$(GO) run ./cmd/cpxsim -demo -sched event
 
+# Quick pass of the particle-scaling experiment: all three MiniCombust
+# suites x all three balancing strategies through the real CLI, with
+# virtual-time identity asserted across both executors on every row.
+particle-smoke:
+	$(GO) run ./cmd/cpxbench -exp particle-scaling -quick
+
 # One iteration of every runtime benchmark: catches benchmarks that no
 # longer compile or run, without the cost of a real measurement.
 bench-smoke:
@@ -99,6 +105,12 @@ bench-sched:
 bench-serve:
 	$(GO) test -run '^$$' -bench 'BenchmarkServeAllocate' -benchmem -count 5 ./internal/serve/
 	$(GO) test -run '^$$' -bench 'BenchmarkAllocate' -benchmem -count 5 ./internal/perfmodel/
+
+# Re-measure the coupled flow+particle host cost recorded in
+# BENCH_particle.json (per strategy at 8/64/512 particle ranks). In
+# `make check` it runs one iteration as a smoke gate.
+bench-particle:
+	$(GO) test -run '^$$' -bench 'BenchmarkRunParticle' -benchtime 1x ./internal/particle/
 
 # Time the full cpxlint sweep (wall clock recorded in BENCH_lint.json).
 bench-lint:

@@ -8,7 +8,8 @@
 //	cpxbench -exp fig8 -quick -v  # fast smoke geometry with progress
 //
 // Experiments: fig3 fig4ab fig4c fig5a fig5b fig6a fig6bc fig8 fig9
-// sensitivity overlap amg search resilience sched-scaling all.
+// sensitivity overlap amg search resilience sched-scaling
+// particle-scaling all.
 package main
 
 import (
@@ -20,7 +21,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (fig3, fig4ab, fig4c, fig5a, fig5b, fig6a, fig6bc, fig8, fig9, sensitivity, overlap, amg, search, resilience, sched-scaling, all)")
+	exp := flag.String("exp", "all", "experiment id (fig3, fig4ab, fig4c, fig5a, fig5b, fig6a, fig6bc, fig8, fig9, sensitivity, overlap, amg, search, resilience, sched-scaling, particle-scaling, all)")
 	quick := flag.Bool("quick", false, "shrink sweeps for a fast smoke run")
 	verbose := flag.Bool("v", false, "print progress")
 	fastcoll := flag.Bool("fastcoll", false, "use analytic collectives (bitwise-identical virtual time, faster host runs)")
@@ -38,22 +39,23 @@ func main() {
 	o.EventDriven = *sched == "event"
 
 	single := map[string]func() (*harness.Table, error){
-		"fig3":          o.Fig3,
-		"fig4ab":        o.Fig4ab,
-		"fig4c":         o.Fig4c,
-		"fig5a":         o.Fig5a,
-		"fig5b":         o.Fig5b,
-		"fig6a":         o.Fig6a,
-		"fig6bc":        o.Fig6bc,
-		"fig8":          o.Fig8,
-		"sensitivity":   o.Sensitivity,
-		"overlap":       o.OverlapStudy,
-		"amg":           o.AMGAblation,
-		"search":        o.SearchAblation,
-		"resilience":    o.Resilience,
-		"sched-scaling": o.SchedScaling,
+		"fig3":             o.Fig3,
+		"fig4ab":           o.Fig4ab,
+		"fig4c":            o.Fig4c,
+		"fig5a":            o.Fig5a,
+		"fig5b":            o.Fig5b,
+		"fig6a":            o.Fig6a,
+		"fig6bc":           o.Fig6bc,
+		"fig8":             o.Fig8,
+		"sensitivity":      o.Sensitivity,
+		"overlap":          o.OverlapStudy,
+		"amg":              o.AMGAblation,
+		"search":           o.SearchAblation,
+		"resilience":       o.Resilience,
+		"sched-scaling":    o.SchedScaling,
+		"particle-scaling": o.ParticleScaling,
 	}
-	order := []string{"fig3", "fig4ab", "fig4c", "fig5a", "fig5b", "fig6a", "fig6bc", "fig8", "fig9", "sensitivity", "overlap", "amg", "search", "resilience", "sched-scaling"}
+	order := []string{"fig3", "fig4ab", "fig4c", "fig5a", "fig5b", "fig6a", "fig6bc", "fig8", "fig9", "sensitivity", "overlap", "amg", "search", "resilience", "sched-scaling", "particle-scaling"}
 
 	run := func(id string) {
 		if id == "fig9" {

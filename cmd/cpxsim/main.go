@@ -37,7 +37,10 @@
 //	  "rotationPerStep": 0.002,
 //	  "instances": [
 //	    {"name": "row1", "kind": "mgcfd",  "meshCells": 24000000, "ranks": 64},
-//	    {"name": "comb", "kind": "simpic", "meshCells": 28000000, "ranks": 128}
+//	    {"name": "comb", "kind": "simpic", "meshCells": 28000000, "ranks": 128},
+//	    {"name": "spray", "kind": "particle", "meshCells": 28000000, "ranks": 32,
+//	     "droplets": 7000000, "strategy": "steal", "coneFraction": 0.25,
+//	     "imbalanceThreshold": 1.5}
 //	  ],
 //	  "units": [
 //	    {"name": "cu1", "a": 0, "b": 1, "kind": "steady", "points": 50000,

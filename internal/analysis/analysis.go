@@ -105,7 +105,7 @@ var simCriticalPackages = map[string]bool{
 	"mpi": true, "coupler": true, "harness": true, "mgcfd": true,
 	"simpic": true, "amg": true, "sparse": true, "pressure": true,
 	"spray": true, "mesh": true, "partition": true, "perfmodel": true,
-	"fault": true, "serve": true, "telemetry": true,
+	"fault": true, "serve": true, "telemetry": true, "particle": true,
 }
 
 // IsSimCritical reports whether an import path belongs to the

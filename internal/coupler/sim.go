@@ -10,6 +10,7 @@ import (
 	"cpx/internal/fem"
 	"cpx/internal/mgcfd"
 	"cpx/internal/mpi"
+	"cpx/internal/particle"
 	"cpx/internal/simpic"
 	"cpx/internal/telemetry"
 	"cpx/internal/trace"
@@ -37,9 +38,10 @@ type SolverKind int
 
 // Solver kinds.
 const (
-	KindMGCFD  SolverKind = iota // density-solver proxy (compressor/turbine rows)
-	KindSIMPIC                   // pressure-solver performance proxy (combustor)
-	KindFEM                      // casing thermal FEM (the paper's stated extension)
+	KindMGCFD    SolverKind = iota // density-solver proxy (compressor/turbine rows)
+	KindSIMPIC                     // pressure-solver performance proxy (combustor)
+	KindFEM                        // casing thermal FEM (the paper's stated extension)
+	KindParticle                   // coupled Lagrangian particle component (MiniCombust-style particle ranks)
 )
 
 func (k SolverKind) String() string {
@@ -48,6 +50,8 @@ func (k SolverKind) String() string {
 		return "SIMPIC"
 	case KindFEM:
 		return "FEM-thermal"
+	case KindParticle:
+		return "Particle"
 	default:
 		return "MG-CFD"
 	}
@@ -86,8 +90,14 @@ type InstanceSpec struct {
 	Simpic *simpic.Config
 	// FEM overrides the casing thermal configuration; if nil, a shell is
 	// sized so its element count matches MeshCells.
-	FEM  *fem.Config
-	Seed int64
+	FEM *fem.Config
+	// Particle overrides the Lagrangian particle configuration (balancing
+	// strategy, imbalance threshold, cone fraction). A zero Droplets field
+	// defaults to MeshCells/4 — the paper's test-case ratio of 7M droplets
+	// per 28M cells — and the instance Seed always wins, like the other
+	// solver kinds.
+	Particle *particle.Config
+	Seed     int64
 }
 
 func (is InstanceSpec) stepsPerDensity() int {
@@ -140,6 +150,7 @@ func (us UnitSpec) exchangeEvery() int {
 type Scale struct {
 	MGCFD            mgcfd.ScaleOpts
 	Simpic           simpic.ScaleOpts
+	Particle         particle.ScaleOpts
 	MaxPointsPerSide int // interface point cap per side per CU
 }
 
@@ -149,6 +160,7 @@ func ProductionScale() Scale {
 	return Scale{
 		MGCFD:            mgcfd.ScaleOpts{MaxCellsPerRank: 512},
 		Simpic:           simpic.ScaleOpts{MaxCellsPerRank: 2048, MaxParticlesPerRank: 2048},
+		Particle:         particle.ScaleOpts{MaxDropletsPerRank: 2048},
 		MaxPointsPerSide: 1024,
 	}
 }
@@ -293,6 +305,10 @@ type Report struct {
 	// patterns of each rank's final solver/mapper state, used by the
 	// differential resilience tests to assert bitwise restart equivalence.
 	RankDigests []uint64
+	// ParticleLoads holds, per instance, the aggregated load-balancing
+	// accounting of KindParticle instances (droplet migrations, steals,
+	// repartitions, final/peak imbalance); nil entries for other kinds.
+	ParticleLoads []*particle.LoadReport
 	// Metrics is the run's virtual-time metric series (nil unless
 	// mpi.Config.Metrics was set), with Components filled by the
 	// rank→instance/unit attribution. Present on failed runs too, so
@@ -373,13 +389,14 @@ func (sim *Simulation) run(cfg mpi.Config, rc *resilientCtx) (*Report, error) {
 	if err := sim.Validate(); err != nil {
 		return nil, err
 	}
-	// Per-rank setup and half-way clocks and final state digests, written
-	// once by each rank (disjoint slots).
+	// Per-rank setup and half-way clocks, final state digests and particle
+	// load accounting, written once by each rank (disjoint slots).
 	setupClocks := make([]float64, sim.TotalRanks())
 	markClocks := make([]float64, sim.TotalRanks())
 	digests := make([]uint64, sim.TotalRanks())
+	loads := make([]particle.RankLoad, sim.TotalRanks())
 	stats, err := mpi.Run(sim.TotalRanks(), cfg, func(c *mpi.Comm) error {
-		return sim.rankMain(c, setupClocks, markClocks, digests, rc)
+		return sim.rankMain(c, setupClocks, markClocks, digests, loads, rc)
 	})
 	if err != nil {
 		if stats != nil {
@@ -404,6 +421,15 @@ func (sim *Simulation) run(cfg mpi.Config, rc *resilientCtx) (*Report, error) {
 		UnitSetup:     make([]float64, len(sim.Units)),
 		DensitySteps:  sim.DensitySteps,
 		RankDigests:   digests,
+		ParticleLoads: make([]*particle.LoadReport, len(sim.Instances)),
+	}
+	for i, spec := range sim.Instances {
+		if spec.Kind != KindParticle {
+			continue
+		}
+		lo, hi := sim.groupRanks(false, i)
+		lr := particle.AggregateLoads(sim.particleConfig(spec).Strategy.String(), loads[lo:hi])
+		rep.ParticleLoads[i] = &lr
 	}
 	for i := range sim.Instances {
 		lo, hi := sim.groupRanks(false, i)
@@ -476,13 +502,32 @@ func (sim *Simulation) simPoints(us UnitSpec) int {
 }
 
 // rankMain is the per-rank program of the coupled run.
-func (sim *Simulation) rankMain(c *mpi.Comm, setupClocks, markClocks []float64, digests []uint64, rc *resilientCtx) error {
+func (sim *Simulation) rankMain(c *mpi.Comm, setupClocks, markClocks []float64, digests []uint64, loads []particle.RankLoad, rc *resilientCtx) error {
 	r := sim.roleOf(c.Rank())
 	if r.isUnit {
 		return sim.unitMain(c, r, setupClocks, digests, rc)
 	}
-	return sim.instanceMain(c, r, setupClocks, markClocks, digests, rc)
+	return sim.instanceMain(c, r, setupClocks, markClocks, digests, loads, rc)
 }
+
+// particleConfig resolves a KindParticle instance's effective particle
+// configuration (overrides applied, droplet default from the mesh size,
+// instance seed).
+func (sim *Simulation) particleConfig(spec InstanceSpec) particle.Config {
+	pc := particle.Config{}
+	if spec.Particle != nil {
+		pc = *spec.Particle
+	}
+	if pc.Droplets == 0 {
+		// The paper's test-case ratio: 7M droplets per 28M cells.
+		pc.Droplets = spec.MeshCells / 4
+	}
+	pc.Seed = spec.Seed
+	return pc
+}
+
+// particleDT is the coupled particle time-step per density step.
+const particleDT = 0.02
 
 // groupComm derives the private communicator of a rank's group without
 // any communication (the layout is contiguous by construction), so even
@@ -497,7 +542,7 @@ func (sim *Simulation) groupComm(world *mpi.Comm, r role) *mpi.Comm {
 }
 
 // instanceMain runs a solver instance rank.
-func (sim *Simulation) instanceMain(world *mpi.Comm, r role, setupClocks, markClocks []float64, digests []uint64, rc *resilientCtx) error {
+func (sim *Simulation) instanceMain(world *mpi.Comm, r role, setupClocks, markClocks []float64, digests []uint64, loads []particle.RankLoad, rc *resilientCtx) error {
 	spec := sim.Instances[r.index]
 	group := sim.groupComm(world, r)
 
@@ -509,6 +554,7 @@ func (sim *Simulation) instanceMain(world *mpi.Comm, r role, setupClocks, markCl
 	var snapshot func() (any, int)
 	var restore func(any) error
 	var digest func() uint64
+	var loadOf func() particle.RankLoad
 	switch spec.Kind {
 	case KindMGCFD:
 		s, err := mgcfd.New(group, mgcfd.Config{
@@ -583,6 +629,24 @@ func (sim *Simulation) instanceMain(world *mpi.Comm, r role, setupClocks, markCl
 			return nil
 		}
 		digest = s.StateDigest
+	case KindParticle:
+		s, err := particle.New(group, sim.particleConfig(spec), sim.Scale.Particle)
+		if err != nil {
+			return fmt.Errorf("instance %s: %w", spec.Name, err)
+		}
+		step = func() error { s.Step(particleDT); return nil }
+		sample = s.BoundarySample
+		absorb = s.AbsorbBoundary
+		snapshot = func() (any, int) { return s.Checkpoint(), s.CheckpointBytes() }
+		restore = func(st any) error {
+			ck, ok := st.(*particle.Checkpoint)
+			if !ok {
+				return fmt.Errorf("snapshot holds %T, want *particle.Checkpoint", st)
+			}
+			return s.Restore(ck)
+		}
+		digest = s.StateDigest
+		loadOf = s.Load
 	default:
 		return fmt.Errorf("instance %s: unknown kind %d", spec.Name, spec.Kind)
 	}
@@ -637,6 +701,9 @@ func (sim *Simulation) instanceMain(world *mpi.Comm, r role, setupClocks, markCl
 		}
 	}
 	digests[world.Rank()] = digest()
+	if loadOf != nil {
+		loads[world.Rank()] = loadOf()
+	}
 	return nil
 }
 

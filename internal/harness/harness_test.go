@@ -131,6 +131,40 @@ func TestSchedScalingQuick(t *testing.T) {
 	}
 }
 
+func TestParticleScalingQuick(t *testing.T) {
+	tb, err := quick().ParticleScaling()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 suites x 3 strategies x 2 rank points in quick mode.
+	if len(tb.Rows) != 18 {
+		t.Fatalf("particle-scaling rows = %d, want 18 in quick mode", len(tb.Rows))
+	}
+	// ParticleScaling itself asserts bitwise virtual-time identity across
+	// the executors per row; check each suite ran every strategy and that
+	// the balancers actually acted on the clustered cone.
+	seen := map[string]int{}
+	for _, row := range tb.Rows {
+		if len(row) != 11 {
+			t.Fatalf("particle-scaling row %v has %d cells, want 11", row, len(row))
+		}
+		seen[row[0]+"/"+row[1]]++
+		if row[1] == "steal" && row[9] == "0" {
+			t.Errorf("steal row %v granted nothing", row)
+		}
+		if row[1] == "repartition" && row[10] == "0" {
+			t.Errorf("repartition row %v never repartitioned", row)
+		}
+	}
+	for _, suite := range []string{"particle-weak", "mesh-weak", "strong"} {
+		for _, st := range []string{"static", "steal", "repartition"} {
+			if seen[suite+"/"+st] != 2 {
+				t.Errorf("suite %s strategy %s has %d rows, want 2", suite, st, seen[suite+"/"+st])
+			}
+		}
+	}
+}
+
 func TestAMGAblation(t *testing.T) {
 	tb, err := quick().AMGAblation()
 	if err != nil {

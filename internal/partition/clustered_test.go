@@ -1,0 +1,151 @@
+package partition_test
+
+import (
+	"testing"
+
+	"cpx/internal/particle"
+	"cpx/internal/partition"
+)
+
+// coneCloud builds a heavily clustered droplet distribution: the
+// particle model's deterministic injection-cone cloud at the given cone
+// fraction (tight fractions concentrate all points near the injector
+// face, the worst case for a static spatial split).
+func coneCloud(seed int64, n int, coneFraction float64) []partition.Point {
+	side := particle.ConeSide(coneFraction)
+	ms := particle.ModelSeed(seed)
+	pts := make([]partition.Point, n)
+	for k := 0; k < n; k++ {
+		x, y, z, _, _, _ := particle.InitialState(ms, uint64(k), side)
+		pts[k] = partition.Point{x, y, z}
+	}
+	return pts
+}
+
+// TestRCBDeterministicOnClusteredClouds: RCB over the same clustered
+// cloud must label identically on repeated calls, across a spread of
+// seeds and cone fractions — ownership is a pure function of the input.
+func TestRCBDeterministicOnClusteredClouds(t *testing.T) {
+	for _, seed := range []int64{1, 2, 42, 1000} {
+		for _, cone := range []float64{0.02, 0.1, 0.25} {
+			pts := coneCloud(seed, 500, cone)
+			a := partition.RCB(pts, 8)
+			b := partition.RCB(pts, 8)
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("seed %d cone %v: RCB labels differ at point %d", seed, cone, i)
+				}
+			}
+		}
+	}
+}
+
+// TestRCBTreeMatchesRCBLabels: Locate on the retained cut planes must
+// reproduce the labels RCB assigned to the build points, even on tightly
+// clustered clouds where many cuts sit inside the cone.
+func TestRCBTreeMatchesRCBLabels(t *testing.T) {
+	for _, seed := range []int64{3, 9, 77} {
+		for _, cone := range []float64{0.02, 0.1, 0.25} {
+			pts := coneCloud(seed, 400, cone)
+			labels := partition.RCB(pts, 8)
+			tree := partition.BuildRCBTree(pts, 8)
+			for i, p := range pts {
+				if got := tree.Locate(p); got != labels[i] {
+					t.Fatalf("seed %d cone %v: point %d located to %d, RCB label %d",
+						seed, cone, i, got, labels[i])
+				}
+			}
+		}
+	}
+}
+
+// TestRCBTreeDeterministicAcrossBuilds: the encoded cut structure is a
+// pure function of the cloud, across seeds.
+func TestRCBTreeDeterministicAcrossBuilds(t *testing.T) {
+	for _, seed := range []int64{5, 11} {
+		pts := coneCloud(seed, 300, 0.05)
+		a := partition.BuildRCBTree(pts, 16).Encode()
+		b := partition.BuildRCBTree(pts, 16).Encode()
+		if len(a) != len(b) {
+			t.Fatalf("seed %d: encodings %d vs %d values", seed, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("seed %d: encoded trees differ at value %d", seed, i)
+			}
+		}
+	}
+}
+
+// TestRCBBalancesClusteredClouds: RCB must keep part sizes within one
+// point of each other even when the whole cloud occupies 2% of the
+// domain — the property the repartition balancer buys with its rebuild.
+func TestRCBBalancesClusteredClouds(t *testing.T) {
+	for _, seed := range []int64{1, 8, 21} {
+		pts := coneCloud(seed, 512, 0.02)
+		labels := partition.RCB(pts, 8)
+		sizes := partition.PartSizes(labels, 8)
+		min, max := sizes[0], sizes[0]
+		for _, s := range sizes {
+			if s < min {
+				min = s
+			}
+			if s > max {
+				max = s
+			}
+		}
+		if max-min > 1 {
+			t.Errorf("seed %d: clustered part sizes %v spread by %d", seed, sizes, max-min)
+		}
+		if imb := partition.Imbalance(labels, 8); imb > 1.02 {
+			t.Errorf("seed %d: clustered RCB imbalance %v", seed, imb)
+		}
+	}
+}
+
+// TestImbalanceHandComputed pins the max/mean metric reported to
+// telemetry on a hand-computed small case: 6 points over 3 parts as
+// {3, 2, 1} → mean 2, imbalance 3/2; and the balanced {2, 2, 2} → 1.
+func TestImbalanceHandComputed(t *testing.T) {
+	part := []int{0, 0, 0, 1, 1, 2}
+	if sizes := partition.PartSizes(part, 3); sizes[0] != 3 || sizes[1] != 2 || sizes[2] != 1 {
+		t.Fatalf("part sizes %v, want [3 2 1]", sizes)
+	}
+	if got := partition.Imbalance(part, 3); got != 1.5 {
+		t.Errorf("imbalance = %v, want 1.5", got)
+	}
+	if got := partition.Imbalance([]int{0, 0, 1, 1, 2, 2}, 3); got != 1 {
+		t.Errorf("balanced imbalance = %v, want 1", got)
+	}
+}
+
+// TestRCBTreeEncodeRoundTrip: decoding an encoded tree reproduces
+// Locate exactly; malformed encodings are rejected.
+func TestRCBTreeEncodeRoundTrip(t *testing.T) {
+	pts := coneCloud(13, 256, 0.05)
+	tree := partition.BuildRCBTree(pts, 8)
+	dec, err := partition.DecodeRCBTree(tree.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Parts() != tree.Parts() {
+		t.Fatalf("decoded parts %d, want %d", dec.Parts(), tree.Parts())
+	}
+	probe := coneCloud(14, 200, 0.5)
+	for _, p := range probe {
+		if dec.Locate(p) != tree.Locate(p) {
+			t.Fatalf("decoded tree locates %v differently", p)
+		}
+	}
+	if _, err := partition.DecodeRCBTree(nil); err == nil {
+		t.Error("nil encoding accepted")
+	}
+	if _, err := partition.DecodeRCBTree([]float64{8, 2, 0, 0.5}); err == nil {
+		t.Error("truncated encoding accepted")
+	}
+	bad := tree.Encode()
+	bad[2] = 7 // axis out of range
+	if _, err := partition.DecodeRCBTree(bad); err == nil {
+		t.Error("malformed axis accepted")
+	}
+}

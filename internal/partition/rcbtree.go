@@ -1,0 +1,165 @@
+package partition
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// RCBTree retains the cut planes of a recursive coordinate bisection so
+// arbitrary positions — not just the points the tree was built from —
+// can be located to their owning part in O(log parts). The particle
+// subsystem's repartition-on-imbalance balancer builds one from a
+// gathered droplet sample and uses Locate as the ownership function
+// until the next repartition; every rank builds the tree from the same
+// gathered sample, so ownership is identical everywhere without any
+// extra communication.
+type RCBTree struct {
+	nodes []rcbNode
+	parts int
+}
+
+// rcbNode is one cut (internal) or one part id (leaf, left == -1).
+type rcbNode struct {
+	axis        int
+	cut         float64
+	left, right int
+	part        int
+}
+
+// Parts returns the number of parts the tree splits into.
+func (t *RCBTree) Parts() int { return t.parts }
+
+// BuildRCBTree builds the cut structure over the given points. The cuts
+// are the medians RCB would use: at each level the subset splits at the
+// longest axis of its bounding box, proportionally to the part counts on
+// each side, with the cut plane placed halfway between the two
+// straddling points. Degenerate subsets (empty, or collapsed to a single
+// coordinate) fall back to bisecting the subset's bounding box, so the
+// tree always yields exactly `parts` leaves. Deterministic: equal
+// coordinates tie-break on point index, like RCB.
+func BuildRCBTree(points []Point, parts int) *RCBTree {
+	if parts <= 0 {
+		panic("partition: BuildRCBTree parts must be positive")
+	}
+	t := &RCBTree{parts: parts}
+	idx := make([]int, len(points))
+	for i := range idx {
+		idx[i] = i
+	}
+	box := boundingBox(points, idx)
+	t.build(points, idx, box, 0, parts)
+	return t
+}
+
+// boundingBox returns the bounding box of a subset (unit cube when the
+// subset is empty, the domain the mini-apps use).
+func boundingBox(points []Point, idx []int) [2]Point {
+	if len(idx) == 0 {
+		return [2]Point{{0, 0, 0}, {1, 1, 1}}
+	}
+	lo, hi := points[idx[0]], points[idx[0]]
+	for _, i := range idx {
+		for d := 0; d < 3; d++ {
+			lo[d] = math.Min(lo[d], points[i][d])
+			hi[d] = math.Max(hi[d], points[i][d])
+		}
+	}
+	return [2]Point{lo, hi}
+}
+
+// build recursively emits nodes and returns the new node's index.
+func (t *RCBTree) build(points []Point, idx []int, box [2]Point, base, parts int) int {
+	self := len(t.nodes)
+	if parts == 1 {
+		t.nodes = append(t.nodes, rcbNode{left: -1, right: -1, part: base})
+		return self
+	}
+	t.nodes = append(t.nodes, rcbNode{}) // placeholder, filled below
+	if len(idx) > 0 {
+		// Match RCB's axis choice exactly: the longest axis of the
+		// subset's tight bounding box, not of the inherited cut region.
+		box = boundingBox(points, idx)
+	}
+	axis := 0
+	for d := 1; d < 3; d++ {
+		if box[1][d]-box[0][d] > box[1][axis]-box[0][axis] {
+			axis = d
+		}
+	}
+	leftParts := parts / 2
+	rightParts := parts - leftParts
+
+	sort.Slice(idx, func(a, b int) bool {
+		pa, pb := points[idx[a]], points[idx[b]]
+		if pa[axis] != pb[axis] {
+			return pa[axis] < pb[axis]
+		}
+		return idx[a] < idx[b]
+	})
+	cutIdx := len(idx) * leftParts / parts
+	var cut float64
+	if cutIdx > 0 && cutIdx < len(idx) &&
+		points[idx[cutIdx-1]][axis] < points[idx[cutIdx]][axis] {
+		cut = (points[idx[cutIdx-1]][axis] + points[idx[cutIdx]][axis]) / 2
+	} else {
+		// Degenerate: too few points or a tie straddling the cut. Bisect
+		// the box proportionally so parts keep nesting.
+		cut = box[0][axis] + (box[1][axis]-box[0][axis])*float64(leftParts)/float64(parts)
+	}
+	leftBox, rightBox := box, box
+	leftBox[1][axis], rightBox[0][axis] = cut, cut
+	left := t.build(points, idx[:cutIdx], leftBox, base, leftParts)
+	right := t.build(points, idx[cutIdx:], rightBox, base+leftParts, rightParts)
+	t.nodes[self] = rcbNode{axis: axis, cut: cut, left: left, right: right}
+	return self
+}
+
+// Locate returns the part owning a position. Positions left of a cut
+// (strictly less) descend left; the cut plane itself belongs to the
+// right part.
+//
+//perf:hotpath
+func (t *RCBTree) Locate(p Point) int {
+	n := 0
+	for t.nodes[n].left >= 0 {
+		if p[t.nodes[n].axis] < t.nodes[n].cut {
+			n = t.nodes[n].left
+		} else {
+			n = t.nodes[n].right
+		}
+	}
+	return t.nodes[n].part
+}
+
+// Encode flattens the tree to a float64 slice (checkpointable state):
+// [parts, nnodes, then per node: axis, cut, left, right, part]. Node
+// indices and ids are small integers, exactly representable.
+func (t *RCBTree) Encode() []float64 {
+	out := make([]float64, 0, 2+5*len(t.nodes))
+	out = append(out, float64(t.parts), float64(len(t.nodes)))
+	for _, n := range t.nodes {
+		out = append(out, float64(n.axis), n.cut, float64(n.left), float64(n.right), float64(n.part))
+	}
+	return out
+}
+
+// DecodeRCBTree rebuilds a tree from its Encode form.
+func DecodeRCBTree(enc []float64) (*RCBTree, error) {
+	if len(enc) < 2 {
+		return nil, fmt.Errorf("partition: RCBTree encoding too short (%d values)", len(enc))
+	}
+	parts, n := int(enc[0]), int(enc[1])
+	if parts < 1 || n < 1 || len(enc) != 2+5*n {
+		return nil, fmt.Errorf("partition: RCBTree encoding inconsistent (parts=%d nodes=%d len=%d)", parts, n, len(enc))
+	}
+	t := &RCBTree{parts: parts, nodes: make([]rcbNode, n)}
+	for i := 0; i < n; i++ {
+		v := enc[2+5*i:]
+		t.nodes[i] = rcbNode{axis: int(v[0]), cut: v[1], left: int(v[2]), right: int(v[3]), part: int(v[4])}
+		if t.nodes[i].axis < 0 || t.nodes[i].axis > 2 || t.nodes[i].left >= n || t.nodes[i].right >= n {
+			return nil, fmt.Errorf("partition: RCBTree node %d malformed", i)
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,129 @@
+package serve
+
+import (
+	"bytes"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// particleSimBody couples a flow row to a dedicated-rank particle
+// instance, exercising the particle-specific SimSpec fields end to end.
+const particleSimBody = `{
+  "densitySteps": 2,
+  "rotationPerStep": 0.001,
+  "instances": [
+    {"name": "flow", "kind": "mgcfd", "meshCells": 4096, "ranks": 4, "seed": 1},
+    {"name": "spray", "kind": "particle", "meshCells": 4096, "ranks": 2, "seed": 3,
+     "strategy": "steal", "coneFraction": 0.1, "imbalanceThreshold": 1.3}
+  ],
+  "units": [
+    {"name": "cu", "a": 0, "b": 1, "kind": "steady", "points": 1000, "ranks": 2, "search": "tree", "exchangeEvery": 1}
+  ]
+}`
+
+// TestParticleSpecValidation: each malformed particle field must be
+// rejected with a 400 whose body names the offending field — negative
+// ranks, an unknown strategy, and particle-only fields on other kinds.
+func TestParticleSpecValidation(t *testing.T) {
+	_, ts := testServer(t, Options{})
+	url := ts.URL + "/v1/simulate"
+	cases := []struct {
+		name, mutate, field string
+	}{
+		{"negative-ranks", `"ranks": 2,`, "ranks"},
+		{"unknown-strategy", `"strategy": "steal",`, "strategy"},
+		{"negative-droplets", `"coneFraction": 0.1,`, "droplets"},
+		{"sub-one-threshold", `"imbalanceThreshold": 1.3`, "imbalanceThreshold"},
+		{"cone-out-of-range", `"coneFraction": 0.1,`, "coneFraction"},
+	}
+	replacements := map[string]string{
+		"negative-ranks":    `"ranks": -2,`,
+		"unknown-strategy":  `"strategy": "round-robin",`,
+		"negative-droplets": `"coneFraction": 0.1, "droplets": -50,`,
+		"sub-one-threshold": `"imbalanceThreshold": 0.4`,
+		"cone-out-of-range": `"coneFraction": 1.7,`,
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			body := strings.Replace(particleSimBody, tc.mutate, replacements[tc.name], 1)
+			if body == particleSimBody {
+				t.Fatalf("mutation %q not applied", tc.name)
+			}
+			resp, b := postJSON(t, url, body)
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status %d, want 400 (%s)", resp.StatusCode, b)
+			}
+			if !strings.Contains(string(b), tc.field) {
+				t.Errorf("400 body does not name field %q: %s", tc.field, b)
+			}
+		})
+	}
+	// Particle-only fields on a non-particle kind are rejected by name.
+	for _, field := range []string{`"droplets": 100`, `"strategy": "static"`, `"coneFraction": 0.2`, `"imbalanceThreshold": 1.5`} {
+		body := strings.Replace(particleSimBody,
+			`"kind": "mgcfd", "meshCells": 4096, "ranks": 4, "seed": 1`,
+			`"kind": "mgcfd", "meshCells": 4096, "ranks": 4, "seed": 1, `+field, 1)
+		resp, b := postJSON(t, ts.URL+"/v1/simulate", body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s on mgcfd: status %d, want 400 (%s)", field, resp.StatusCode, b)
+		}
+		name := field[1:strings.Index(field, `":`)]
+		if !strings.Contains(string(b), name) || !strings.Contains(string(b), "particle") {
+			t.Errorf("400 body does not name %q as particle-only: %s", name, b)
+		}
+	}
+}
+
+// TestParticleCacheCanonicalisation: the content-addressed cache must
+// key on the canonical spec — reordering fields hits the same entry,
+// while changing the balancing strategy (same shape, different
+// semantics) misses.
+func TestParticleCacheCanonicalisation(t *testing.T) {
+	_, ts := testServer(t, Options{})
+	url := ts.URL + "/v1/simulate"
+	resp1, body1 := postJSON(t, url, particleSimBody)
+	if resp1.StatusCode != 200 {
+		t.Fatalf("simulate: %d %s", resp1.StatusCode, body1)
+	}
+	if xc := resp1.Header.Get("X-Cache"); xc != "miss" {
+		t.Errorf("first particle simulate X-Cache = %q, want miss", xc)
+	}
+	if !strings.Contains(string(body1), `"particles"`) ||
+		!strings.Contains(string(body1), `"strategy":"steal"`) {
+		t.Fatalf("simulate response missing particle load report: %s", body1)
+	}
+	// Same spec, reordered keys and fresh whitespace: must hit.
+	reordered := `{
+	  "units": [
+	    {"ranks": 2, "name": "cu", "a": 0, "b": 1, "kind": "steady", "points": 1000, "search": "tree", "exchangeEvery": 1}
+	  ],
+	  "instances": [
+	    {"seed": 1, "kind": "mgcfd", "name": "flow", "meshCells": 4096, "ranks": 4},
+	    {"imbalanceThreshold": 1.3, "strategy": "steal", "name": "spray", "kind": "particle",
+	     "meshCells": 4096, "ranks": 2, "seed": 3, "coneFraction": 0.1}
+	  ],
+	  "rotationPerStep": 0.001,
+	  "densitySteps": 2
+	}`
+	resp2, body2 := postJSON(t, url, reordered)
+	if xc := resp2.Header.Get("X-Cache"); xc != "hit" {
+		t.Errorf("reordered particle spec X-Cache = %q, want hit (canonicalisation failed)", xc)
+	}
+	if !bytes.Equal(body1, body2) {
+		t.Fatalf("reordered spec returned different bytes:\n%s\nvs\n%s", body1, body2)
+	}
+	// Only the strategy changes: a semantically different job, so the
+	// canonical key must differ and the cache must miss.
+	restrategised := strings.Replace(particleSimBody, `"strategy": "steal"`, `"strategy": "repartition"`, 1)
+	resp3, body3 := postJSON(t, url, restrategised)
+	if resp3.StatusCode != 200 {
+		t.Fatalf("repartition simulate: %d %s", resp3.StatusCode, body3)
+	}
+	if xc := resp3.Header.Get("X-Cache"); xc != "miss" {
+		t.Errorf("strategy change X-Cache = %q, want miss", xc)
+	}
+	if !strings.Contains(string(body3), `"strategy":"repartition"`) {
+		t.Fatalf("repartition response missing strategy: %s", body3)
+	}
+}

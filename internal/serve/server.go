@@ -424,6 +424,17 @@ func (s *Server) runSimulate(r *http.Request, jb *Job) (any, func(context.Contex
 				Name: us.Name, Time: rep.UnitTime[u], Compute: rep.UnitComp[u],
 			})
 		}
+		for i, lr := range rep.ParticleLoads {
+			if lr == nil {
+				continue
+			}
+			resp.Particles = append(resp.Particles, ParticleLoadOut{
+				Name: sim.Instances[i].Name, Strategy: lr.Strategy,
+				Moved: lr.Moved, Stolen: lr.Stolen, Granted: lr.Granted,
+				Repartitions:  lr.Repartitions,
+				LastImbalance: lr.LastImbalance, PeakImbalance: lr.PeakImbalance,
+			})
+		}
 		return resp, nil
 	}, nil
 }

@@ -17,16 +17,31 @@ import (
 	"strings"
 
 	"cpx/internal/coupler"
+	"cpx/internal/particle"
 	"cpx/internal/perfmodel"
 )
 
 // InstanceSpec describes one application instance (the cpxsim schema).
+// The droplets/strategy/coneFraction/imbalanceThreshold fields apply
+// only to kind "particle" (dedicated particle ranks partitioned
+// independently of any mesh) and are rejected on other kinds.
 type InstanceSpec struct {
 	Name      string `json:"name"`
-	Kind      string `json:"kind"` // "mgcfd" | "simpic"
+	Kind      string `json:"kind"` // "mgcfd" | "simpic" | "fem" | "particle"
 	MeshCells int64  `json:"meshCells"`
 	Ranks     int    `json:"ranks"`
 	Seed      int64  `json:"seed"`
+	// Droplets is the true droplet population of a particle instance
+	// (default MeshCells/4, the paper's 7M droplets per 28M cells).
+	Droplets int64 `json:"droplets,omitempty"`
+	// Strategy selects the particle load balancer: "static" (default),
+	// "steal" or "repartition".
+	Strategy string `json:"strategy,omitempty"`
+	// ConeFraction is the injection-cone volume fraction (default 0.25).
+	ConeFraction float64 `json:"coneFraction,omitempty"`
+	// ImbalanceThreshold triggers a repartition when max/mean droplet
+	// load crosses it (strategy "repartition"; default 1.5, must be >= 1).
+	ImbalanceThreshold float64 `json:"imbalanceThreshold,omitempty"`
 }
 
 // UnitSpec describes one coupling unit (the cpxsim schema).
@@ -60,17 +75,57 @@ func (sp *SimSpec) Build() (*coupler.Simulation, error) {
 		Scale:           coupler.ProductionScale(),
 	}
 	for _, ji := range sp.Instances {
+		if ji.Ranks < 0 {
+			return nil, fmt.Errorf("instance %q: field \"ranks\" must be non-negative, got %d", ji.Name, ji.Ranks)
+		}
 		kind := coupler.KindMGCFD
 		switch strings.ToLower(ji.Kind) {
 		case "mgcfd":
 		case "simpic":
 			kind = coupler.KindSIMPIC
+		case "particle":
+			kind = coupler.KindParticle
 		default:
 			return nil, fmt.Errorf("instance %q: unknown kind %q", ji.Name, ji.Kind)
 		}
-		sim.Instances = append(sim.Instances, coupler.InstanceSpec{
+		is := coupler.InstanceSpec{
 			Name: ji.Name, Kind: kind, MeshCells: ji.MeshCells, Ranks: ji.Ranks, Seed: ji.Seed,
-		})
+		}
+		if kind == coupler.KindParticle {
+			strategy, err := particle.ParseStrategy(ji.Strategy)
+			if err != nil {
+				return nil, fmt.Errorf("instance %q: field \"strategy\": %w", ji.Name, err)
+			}
+			if ji.Droplets < 0 {
+				return nil, fmt.Errorf("instance %q: field \"droplets\" must be non-negative, got %d", ji.Name, ji.Droplets)
+			}
+			if ji.ImbalanceThreshold != 0 && ji.ImbalanceThreshold < 1 {
+				return nil, fmt.Errorf("instance %q: field \"imbalanceThreshold\" must be >= 1, got %v", ji.Name, ji.ImbalanceThreshold)
+			}
+			if ji.ConeFraction < 0 || ji.ConeFraction > 1 {
+				return nil, fmt.Errorf("instance %q: field \"coneFraction\" must be in [0,1], got %v", ji.Name, ji.ConeFraction)
+			}
+			is.Particle = &particle.Config{
+				Droplets: ji.Droplets, ConeFraction: ji.ConeFraction,
+				Strategy: strategy, ImbalanceThreshold: ji.ImbalanceThreshold,
+			}
+		} else {
+			for _, f := range []struct {
+				field string
+				set   bool
+			}{
+				{"droplets", ji.Droplets != 0},
+				{"strategy", ji.Strategy != ""},
+				{"coneFraction", ji.ConeFraction != 0},
+				{"imbalanceThreshold", ji.ImbalanceThreshold != 0},
+			} {
+				if f.set {
+					field := f.field
+					return nil, fmt.Errorf("instance %q: field %q applies only to kind \"particle\", not %q", ji.Name, field, ji.Kind)
+				}
+			}
+		}
+		sim.Instances = append(sim.Instances, is)
 	}
 	for _, ju := range sp.Units {
 		kind := coupler.SlidingPlane
@@ -251,6 +306,20 @@ type ComponentTime struct {
 	Compute float64 `json:"compute"`
 }
 
+// ParticleLoadOut is the load-balancing outcome of one particle
+// instance: total droplet migrations, steal traffic, repartition count
+// and the final/peak max-mean imbalance.
+type ParticleLoadOut struct {
+	Name          string  `json:"name"`
+	Strategy      string  `json:"strategy"`
+	Moved         int     `json:"moved"`
+	Stolen        int     `json:"stolen"`
+	Granted       int     `json:"granted"`
+	Repartitions  int     `json:"repartitions"`
+	LastImbalance float64 `json:"lastImbalance"`
+	PeakImbalance float64 `json:"peakImbalance"`
+}
+
 // SimulateResponse summarises a coupled run.
 type SimulateResponse struct {
 	Elapsed       float64         `json:"elapsed"`
@@ -259,6 +328,9 @@ type SimulateResponse struct {
 	CouplingShare float64         `json:"couplingShare"`
 	Instances     []ComponentTime `json:"instances"`
 	Units         []ComponentTime `json:"units"`
+	// Particles reports the load-balancing outcome of each particle
+	// instance (omitted when the simulation has none).
+	Particles []ParticleLoadOut `json:"particles,omitempty"`
 }
 
 // DemoComponents returns the built-in four-component model scenario

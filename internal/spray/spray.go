@@ -18,6 +18,13 @@
 //     flow solve, synchronising through one window-exchange per step, so
 //     its cost leaves the solver's critical path. The paper sets the
 //     optimised spray's effective parallel efficiency to ~100%.
+//
+// The droplet physics (work constants, drag response time, gas-velocity
+// model, wall handling, injection geometry) is shared with the
+// first-class coupled component in internal/particle, so the constants
+// live in exactly one place; this package keeps its own rank-local RNG
+// sampling and remains the differential oracle for the particle
+// subsystem's static-split strategy.
 package spray
 
 import (
@@ -28,16 +35,11 @@ import (
 	"cpx/internal/cluster"
 	"cpx/internal/mpi"
 	"cpx/internal/order"
+	"cpx/internal/particle"
 )
 
 // Message tags.
 const tagMigrate = 40
-
-// Per-droplet work constants: drag + evaporation + cell search per step.
-const (
-	dropletFlopsPerStep = 140.0
-	dropletBytesPerStep = 160.0
-)
 
 // Config describes a spray population.
 type Config struct {
@@ -126,7 +128,7 @@ func NewCloud(c *mpi.Comm, grid [3]int, cfg Config, sc ScaleOpts) (*Cloud, error
 
 	// Cloud region: a cone-ish box near the injector at the x=0 face,
 	// occupying ConeFraction of the domain volume.
-	side := math.Cbrt(cfg.ConeFraction)
+	side := particle.ConeSide(cfg.ConeFraction)
 	// Global droplet positions are sampled rank-locally: each rank draws
 	// its share of the droplets that fall inside its box.
 	simTotal := int64(c.Size()) * 4096
@@ -242,25 +244,21 @@ func (cl *Cloud) Step(dt float64) {
 	// Update phase: drag toward a swirling gas velocity, evaporation,
 	// recycling of evaporated droplets at the injector.
 	evap := 1.0 / float64(cl.cfg.EvapSteps)
-	side := math.Cbrt(cl.cfg.ConeFraction)
+	side := particle.ConeSide(cl.cfg.ConeFraction)
 	lo, hi := cl.boxOf(cl.comm.Rank())
-	injectorMine := inBox(0.01, 0.5, 0.5, lo, hi)
+	injectorMine := inBox(particle.InjectorX, particle.InjectorY, particle.InjectorZ, lo, hi)
 	for i := 0; i < len(cl.x); i++ {
-		// Gas velocity model: axial stream plus swirl.
-		gx := 0.4
-		gy := 0.2 * math.Sin(2*math.Pi*cl.z[i])
-		gz := -0.2 * math.Sin(2*math.Pi*cl.y[i])
-		const tau = 0.05 // droplet response time
-		cl.vx[i] += dt / tau * (gx - cl.vx[i])
-		cl.vy[i] += dt / tau * (gy - cl.vy[i])
-		cl.vz[i] += dt / tau * (gz - cl.vz[i])
+		gx, gy, gz := particle.GasVelocity(cl.y[i], cl.z[i])
+		cl.vx[i] += dt / particle.Tau * (gx - cl.vx[i])
+		cl.vy[i] += dt / particle.Tau * (gy - cl.vy[i])
+		cl.vz[i] += dt / particle.Tau * (gz - cl.vz[i])
 		cl.x[i] += dt * cl.vx[i]
 		cl.y[i] += dt * cl.vy[i]
 		cl.z[i] += dt * cl.vz[i]
 		cl.rad[i] -= evap * cl.rng.Float64() * 2
 		// Reflect at lateral walls, absorb at the outlet (x > 1).
-		reflect(&cl.y[i], &cl.vy[i])
-		reflect(&cl.z[i], &cl.vz[i])
+		particle.Reflect(&cl.y[i], &cl.vy[i])
+		particle.Reflect(&cl.z[i], &cl.vz[i])
 		if cl.x[i] < 0 {
 			cl.x[i] = -cl.x[i]
 			cl.vx[i] = -cl.vx[i]
@@ -281,21 +279,10 @@ func (cl *Cloud) Step(dt float64) {
 		}
 	}
 	cl.comm.Compute(cluster.Work{
-		Flops: dropletFlopsPerStep * float64(len(cl.x)) * cl.partScale,
-		Bytes: dropletBytesPerStep * float64(len(cl.x)) * cl.partScale,
+		Flops: particle.DropletFlopsPerStep * float64(len(cl.x)) * cl.partScale,
+		Bytes: particle.DropletBytesPerStep * float64(len(cl.x)) * cl.partScale,
 	})
 	cl.redistribute()
-}
-
-func reflect(pos, vel *float64) {
-	if *pos < 0 {
-		*pos = -*pos
-		*vel = -*vel
-	}
-	if *pos > 1 {
-		*pos = 2 - *pos
-		*vel = -*vel
-	}
 }
 
 // redistribute moves each droplet to its owning rank. The production
@@ -394,8 +381,8 @@ func (cl *Cloud) redistribute() {
 
 	// The injector rank replaces globally lost droplets, keeping the
 	// population stationary like a continuous fuel spray.
-	if lost > 0 && cl.ownerOf(0.01, 0.5, 0.5) == r {
-		side := math.Cbrt(cl.cfg.ConeFraction)
+	if lost > 0 && cl.ownerOf(particle.InjectorX, particle.InjectorY, particle.InjectorZ) == r {
+		side := particle.ConeSide(cl.cfg.ConeFraction)
 		for k := 0; k < lost; k++ {
 			cl.spawn(cl.rng.Float64()*side*0.2,
 				0.5+(cl.rng.Float64()-0.5)*side*0.5,
@@ -408,7 +395,7 @@ func (cl *Cloud) redistribute() {
 // (for external cost models).
 func (cl *Cloud) StepWork() cluster.Work {
 	return cluster.Work{
-		Flops: dropletFlopsPerStep * float64(len(cl.x)) * cl.partScale,
-		Bytes: dropletBytesPerStep * float64(len(cl.x)) * cl.partScale,
+		Flops: particle.DropletFlopsPerStep * float64(len(cl.x)) * cl.partScale,
+		Bytes: particle.DropletBytesPerStep * float64(len(cl.x)) * cl.partScale,
 	}
 }
