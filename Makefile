@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: check vet lint lint-baseline build test test-race test-race-short race serve-smoke telemetry-smoke sched-smoke particle-smoke bench-smoke bench-trace bench-mpi bench-fault bench-serve bench-telemetry bench-sched bench-particle bench-lint
+.PHONY: check vet lint lint-baseline build test test-race test-race-short race serve-smoke sweep-smoke telemetry-smoke sched-smoke particle-smoke bench-smoke bench-trace bench-mpi bench-fault bench-serve bench-telemetry bench-sched bench-particle bench-lint
 
-check: vet lint build test race test-race-short serve-smoke telemetry-smoke sched-smoke particle-smoke bench-smoke bench-fault bench-particle
+check: vet lint build test race test-race-short serve-smoke sweep-smoke telemetry-smoke sched-smoke particle-smoke bench-smoke bench-fault bench-particle
 
 vet:
 	$(GO) vet ./...
@@ -51,6 +51,15 @@ test-race-short:
 # job completes), and the metrics exposition.
 serve-smoke:
 	$(GO) run ./cmd/cpxserve -smoke
+
+# Scale-out smoke: builds cpxserve, spawns two worker shard processes
+# (each with its own disk cache), fronts them with a cache-key router,
+# and runs the same parameter sweep twice — every point must route to a
+# shard, land on the same shard both times, be served from cache on the
+# re-run, and return byte-identical artifacts.
+sweep-smoke:
+	$(GO) build -o /tmp/cpxserve-smoke ./cmd/cpxserve
+	/tmp/cpxserve-smoke -smoke-sweep
 
 # Live-telemetry smoke: submits a slow simulation and asserts progress
 # streams over /v1/jobs/{id}/events while it runs. The job-stream leg
@@ -100,10 +109,11 @@ bench-sched:
 	$(GO) test -run '^$$' -bench 'BenchmarkRunSched' -benchmem -benchtime 30x -count 5 ./internal/mpi/
 
 # Re-measure the serving baselines recorded in BENCH_serve.json (cached
-# vs uncached request path) and BENCH_perfmodel.json (Alg. 1 fast path
-# vs the reference implementation).
+# vs uncached request path, plus the 1024-concurrent sweep vs pointwise
+# comparison) and BENCH_perfmodel.json (Alg. 1 fast path vs the
+# reference implementation).
 bench-serve:
-	$(GO) test -run '^$$' -bench 'BenchmarkServeAllocate' -benchmem -count 5 ./internal/serve/
+	$(GO) test -run '^$$' -bench 'BenchmarkServe' -benchmem -count 5 ./internal/serve/
 	$(GO) test -run '^$$' -bench 'BenchmarkAllocate' -benchmem -count 5 ./internal/perfmodel/
 
 # Re-measure the coupled flow+particle host cost recorded in

@@ -20,6 +20,8 @@
 //	POST /v1/allocate         {"budget": 40000, "components": [...]}
 //	POST /v1/speedup          {"budget": 40000, "base": [...], "optimized": [...]}
 //	POST /v1/simulate         a cpxsim scenario (+ "seedOffset", "fastColl")
+//	POST /v1/sweep            a scenario template + parameter ranges,
+//	                          expanded server-side, streamed as NDJSON
 //
 // Every request is assigned a job ID (returned in the X-Job-ID header
 // and in JSON error bodies) and tracked in the registry behind
@@ -28,11 +30,17 @@
 //
 // A ?timeout=30s query parameter sets the per-request deadline; when it
 // expires the job is cancelled and every rank goroutine unwinds. The
-// worker pool is bounded: a full queue answers 429 with Retry-After.
-// Identical requests are served from a content-addressed cache with the
+// worker pool is bounded: a full queue answers 429 with a Retry-After
+// computed from queue depth and observed job latency. Identical
+// requests are served from a content-addressed cache with the
 // byte-identical artifact — sound because the model and the simulator
-// are deterministic. SIGINT/SIGTERM trigger a graceful shutdown that
-// drains in-flight jobs.
+// are deterministic. The in-memory cache is LRU-bounded (-cache-bytes)
+// and optionally backed by a persistent disk tier (-cache-dir) that
+// survives restarts. With -shards, simulation jobs are routed to worker
+// processes by consistent hashing of the cache key, so identical
+// scenarios always land where the cache is warm; dead shards degrade to
+// the next arc or to local execution. SIGINT/SIGTERM trigger a graceful
+// shutdown that drains in-flight jobs.
 package main
 
 import (
@@ -63,7 +71,14 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "default per-request deadline (0 = 60s)")
 	logFormat := flag.String("log", "text", "structured log format: text or json")
 	verbose := flag.Bool("v", false, "log debug events (job admitted / job running)")
+	cacheBytes := flag.Int64("cache-bytes", 0, "in-memory result cache budget in bytes (0 = default 256 MiB)")
+	cacheDir := flag.String("cache-dir", "", "persistent disk cache directory (empty = memory tier only)")
+	shards := flag.String("shards", "", "comma-separated worker shard base URLs; simulate jobs route by cache key")
+	shardProbe := flag.Duration("shard-probe", 0, "shard health probe interval (0 = 2s)")
+	sweepWorkers := flag.Int("sweep-workers", 0, "concurrent sweep points (0 = 2x workers)")
+	portFile := flag.String("port-file", "", "write the bound listen address to this file once serving")
 	smoke := flag.Bool("smoke", false, "self-test against an ephemeral port, then exit")
+	smokeSweep := flag.Bool("smoke-sweep", false, "spawn two shard processes and self-test sweep routing, then exit")
 	flag.Parse()
 
 	logger, err := newLogger(*logFormat, *verbose)
@@ -71,7 +86,18 @@ func main() {
 		fmt.Fprintf(os.Stderr, "cpxserve: %v\n", err)
 		os.Exit(1)
 	}
-	opts := serve.Options{Workers: *workers, QueueLen: *queue, DefaultTimeout: *timeout, Logger: logger}
+	opts := serve.Options{
+		Workers: *workers, QueueLen: *queue, DefaultTimeout: *timeout, Logger: logger,
+		CacheMaxBytes: *cacheBytes, CacheDir: *cacheDir, SweepWorkers: *sweepWorkers,
+		ShardProbeInterval: *shardProbe,
+	}
+	if *shards != "" {
+		for _, u := range strings.Split(*shards, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				opts.Shards = append(opts.Shards, u)
+			}
+		}
+	}
 	if *smoke {
 		if err := runSmoke(opts); err != nil {
 			fmt.Fprintf(os.Stderr, "cpxserve: smoke: %v\n", err)
@@ -80,7 +106,15 @@ func main() {
 		fmt.Println("cpxserve: smoke OK")
 		return
 	}
-	if err := runServer(*addr, opts); err != nil {
+	if *smokeSweep {
+		if err := runSweepSmoke(opts, spawnShardProcess); err != nil {
+			fmt.Fprintf(os.Stderr, "cpxserve: sweep smoke: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("cpxserve: sweep smoke OK")
+		return
+	}
+	if err := runServer(*addr, *portFile, opts); err != nil {
 		logger.Error("server failed", "error", err)
 		os.Exit(1)
 	}
@@ -105,13 +139,32 @@ func newLogger(format string, verbose bool) (*slog.Logger, error) {
 }
 
 // runServer serves until SIGINT/SIGTERM, then shuts down gracefully:
-// stop accepting, let in-flight handlers finish, drain the pool.
-func runServer(addr string, opts serve.Options) error {
+// stop accepting, let in-flight handlers finish, drain the pool. With
+// portFile set, the bound address is published there (atomic rename)
+// once the listener is up, so a parent that launched us on an ephemeral
+// port can discover it.
+func runServer(addr, portFile string, opts serve.Options) error {
 	s := serve.New(opts)
-	hs := &http.Server{Addr: addr, Handler: s.Handler()}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		s.Close()
+		return err
+	}
+	if portFile != "" {
+		tmp := portFile + ".tmp"
+		if err := os.WriteFile(tmp, []byte(ln.Addr().String()), 0o644); err != nil {
+			s.Close()
+			return err
+		}
+		if err := os.Rename(tmp, portFile); err != nil {
+			s.Close()
+			return err
+		}
+	}
+	hs := &http.Server{Handler: s.Handler()}
 	errc := make(chan error, 1)
-	go func() { errc <- hs.ListenAndServe() }()
-	opts.Logger.Info("listening", "addr", addr)
+	go func() { errc <- hs.Serve(ln) }()
+	opts.Logger.Info("listening", "addr", ln.Addr().String())
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -124,7 +177,7 @@ func runServer(addr string, opts serve.Options) error {
 	opts.Logger.Info("shutting down, draining jobs")
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
-	err := hs.Shutdown(ctx)
+	err = hs.Shutdown(ctx)
 	s.Close()
 	return err
 }

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"net"
+	"net/http"
+	"path/filepath"
 	"testing"
 
 	"cpx/internal/cluster"
@@ -11,6 +14,36 @@ import (
 // against the small cluster model to keep the simulation cheap.
 func TestRunSmoke(t *testing.T) {
 	if err := runSmoke(serve.Options{Machine: cluster.SmallCluster()}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunSweepSmoke runs the same pass as `cpxserve -smoke-sweep` —
+// two shards fronted by a cache-key router, the same sweep twice,
+// stable routing and byte-identical artifacts — with the shards spawned
+// in-process instead of as subprocesses (os.Args[0] is the test binary
+// here, not cpxserve).
+func TestRunSweepSmoke(t *testing.T) {
+	spawn := func(dir string) (string, func(), error) {
+		s := serve.New(serve.Options{
+			Workers:  2,
+			CacheDir: filepath.Join(dir, "cache"),
+			Machine:  cluster.SmallCluster(),
+		})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			s.Close()
+			return "", nil, err
+		}
+		hs := &http.Server{Handler: s.Handler()}
+		go hs.Serve(ln)
+		stop := func() {
+			hs.Close()
+			s.Close()
+		}
+		return "http://" + ln.Addr().String(), stop, nil
+	}
+	if err := runSweepSmoke(serve.Options{Machine: cluster.SmallCluster()}, spawn); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -1,0 +1,245 @@
+// Sweep smoke: an end-to-end self-test of the scale-out path. It
+// brings up two worker shards (each with its own disk cache), fronts
+// them with an in-process router, runs the same parameter sweep twice,
+// and verifies the properties the sharded design promises: every point
+// routes to a shard, routing is stable across runs (identical scenarios
+// land on the shard whose cache is warm), the second run is served
+// entirely from cache, and the artifacts are byte-identical.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"cpx/internal/serve"
+)
+
+// shardSpawner brings up one worker shard rooted at dir (scratch space
+// for its disk cache and port file) and returns its base URL and a stop
+// function. main spawns real subprocesses; tests spawn in-process
+// servers.
+type shardSpawner func(dir string) (url string, stop func(), err error)
+
+// spawnShardProcess launches this same binary as a worker shard on an
+// ephemeral port, discovering the bound address through -port-file.
+func spawnShardProcess(dir string) (string, func(), error) {
+	portFile := filepath.Join(dir, "port")
+	cmd := exec.Command(os.Args[0],
+		"-addr", "127.0.0.1:0",
+		"-port-file", portFile,
+		"-cache-dir", filepath.Join(dir, "cache"),
+		"-workers", "2",
+	)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return "", nil, err
+	}
+	stop := func() {
+		cmd.Process.Signal(os.Interrupt)
+		cmd.Wait()
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if b, err := os.ReadFile(portFile); err == nil && len(b) > 0 {
+			return "http://" + string(b), stop, nil
+		}
+		if time.Now().After(deadline) {
+			stop()
+			return "", nil, fmt.Errorf("shard %s never published its port", dir)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// sweepSmokeBody is the sweep run by the smoke: a small two-row coupled
+// scenario swept over 2 seeds x 2 mesh scales = 4 distinct cache keys.
+const sweepSmokeBody = `{
+  "template": {
+    "densitySteps": 2, "rotationPerStep": 0.002,
+    "instances": [
+      {"name": "row1", "kind": "mgcfd", "meshCells": 4096, "ranks": 4, "seed": 1},
+      {"name": "row2", "kind": "mgcfd", "meshCells": 4096, "ranks": 4, "seed": 2}],
+    "units": [
+      {"name": "cu", "a": 0, "b": 1, "kind": "sliding", "points": 2000, "ranks": 2, "search": "tree"}]
+  },
+  "axes": {"seedOffsets": [1, 2], "meshScales": [1, 1.25]}
+}`
+
+// sweepResult is one sweep run, indexed by point.
+type sweepResult struct {
+	points  int
+	shards  []string
+	outcome []string
+	body    [][]byte
+}
+
+// postSweep runs one sweep against base and collects the NDJSON stream.
+func postSweep(base string) (*sweepResult, error) {
+	resp, err := http.Post(base+"/v1/sweep", "application/json", strings.NewReader(sweepSmokeBody))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		b, _ := json.Marshal(resp.Header)
+		return nil, fmt.Errorf("sweep: status %d (headers %s)", resp.StatusCode, b)
+	}
+	var res *sweepResult
+	done := false
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var line struct {
+			Sweep *struct {
+				JobID  string `json:"jobId"`
+				Points int    `json:"points"`
+			} `json:"sweep"`
+			Index  *int            `json:"index"`
+			Cache  string          `json:"cache"`
+			Shard  string          `json:"shard"`
+			Result json.RawMessage `json:"result"`
+			Error  string          `json:"error"`
+			Done   *struct {
+				Points int `json:"points"`
+				OK     int `json:"ok"`
+				Errors int `json:"errors"`
+			} `json:"done"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			return nil, fmt.Errorf("bad NDJSON line %q: %w", sc.Text(), err)
+		}
+		switch {
+		case line.Sweep != nil:
+			res = &sweepResult{
+				points:  line.Sweep.Points,
+				shards:  make([]string, line.Sweep.Points),
+				outcome: make([]string, line.Sweep.Points),
+				body:    make([][]byte, line.Sweep.Points),
+			}
+		case line.Index != nil:
+			if res == nil || *line.Index < 0 || *line.Index >= res.points {
+				return nil, fmt.Errorf("point line out of order: %q", sc.Text())
+			}
+			if line.Error != "" {
+				return nil, fmt.Errorf("point %d failed: %s", *line.Index, line.Error)
+			}
+			res.shards[*line.Index] = line.Shard
+			res.outcome[*line.Index] = line.Cache
+			res.body[*line.Index] = append([]byte(nil), line.Result...)
+		case line.Done != nil:
+			if line.Done.Errors != 0 || line.Done.OK != res.points {
+				return nil, fmt.Errorf("sweep tally: %d ok, %d errors of %d", line.Done.OK, line.Done.Errors, res.points)
+			}
+			done = true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if res == nil || !done {
+		return nil, fmt.Errorf("sweep stream ended without header/trailer")
+	}
+	return res, nil
+}
+
+// runSweepSmoke brings up two shards via spawn, fronts them with a
+// router built from opts, and checks routing stability and
+// byte-identical artifacts across two identical sweeps.
+func runSweepSmoke(opts serve.Options, spawn shardSpawner) error {
+	root, err := os.MkdirTemp("", "cpxserve-sweep-smoke-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(root)
+
+	var shardURLs []string
+	for i := 0; i < 2; i++ {
+		dir := filepath.Join(root, fmt.Sprintf("shard%d", i))
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+		u, stop, err := spawn(dir)
+		if err != nil {
+			return fmt.Errorf("spawn shard %d: %w", i, err)
+		}
+		defer stop()
+		shardURLs = append(shardURLs, u)
+	}
+
+	opts.Shards = shardURLs
+	opts.ShardProbeInterval = 200 * time.Millisecond
+	opts.CacheDir = filepath.Join(root, "front-cache")
+	s := serve.New(opts)
+	defer s.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: s.Handler()}
+	go hs.Serve(ln)
+	defer hs.Close()
+	base := "http://" + ln.Addr().String()
+
+	run1, err := postSweep(base)
+	if err != nil {
+		return fmt.Errorf("first sweep: %w", err)
+	}
+	if run1.points != 4 {
+		return fmt.Errorf("first sweep expanded %d points, want 4", run1.points)
+	}
+	for i, sh := range run1.shards {
+		if sh == "" {
+			return fmt.Errorf("point %d ran locally; want shard-routed (both shards healthy)", i)
+		}
+	}
+
+	run2, err := postSweep(base)
+	if err != nil {
+		return fmt.Errorf("second sweep: %w", err)
+	}
+	if run2.points != run1.points {
+		return fmt.Errorf("point count changed across runs: %d then %d", run1.points, run2.points)
+	}
+	for i := range run2.shards {
+		if run2.shards[i] != run1.shards[i] {
+			return fmt.Errorf("point %d moved shards across runs: %q then %q — routing must be stable",
+				i, run1.shards[i], run2.shards[i])
+		}
+		if oc := run2.outcome[i]; oc != string(serve.OutcomeHit) && oc != string(serve.OutcomeDisk) {
+			return fmt.Errorf("point %d re-run outcome %q, want a cache hit", i, oc)
+		}
+		if !bytes.Equal(run2.body[i], run1.body[i]) {
+			return fmt.Errorf("point %d artifact differs across runs", i)
+		}
+	}
+
+	// An individual /v1/simulate against the front-end must forward to
+	// a shard too (same routing path as sweep points).
+	var tmpl struct {
+		Template json.RawMessage `json:"template"`
+	}
+	if err := json.Unmarshal([]byte(sweepSmokeBody), &tmpl); err != nil {
+		return err
+	}
+	resp, err := http.Post(base+"/v1/simulate", "application/json", bytes.NewReader(tmpl.Template))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		return fmt.Errorf("forwarded simulate: status %d", resp.StatusCode)
+	}
+	if resp.Header.Get("X-Shard") == "" {
+		return fmt.Errorf("individual simulate did not forward to a shard (no X-Shard header)")
+	}
+	return nil
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -75,5 +76,108 @@ func BenchmarkServeAllocateCached(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		benchPost(b, h, body)
+	}
+}
+
+// benchSweepPoints is the grid size of the concurrent sweep benchmarks.
+const benchSweepPoints = 16
+
+// benchSweepBody sweeps the small coupled scenario over 16 seeds.
+func benchSweepBody() string {
+	seeds := make([]string, benchSweepPoints)
+	for i := range seeds {
+		seeds[i] = fmt.Sprint(i + 1)
+	}
+	return fmt.Sprintf(`{"template": %s, "axes": {"seedOffsets": [%s]}}`,
+		benchSimTemplate, strings.Join(seeds, ","))
+}
+
+const benchSimTemplate = `{
+    "densitySteps": 2, "rotationPerStep": 0.002,
+    "instances": [
+      {"name": "row1", "kind": "mgcfd", "meshCells": 4096, "ranks": 4, "seed": 1},
+      {"name": "row2", "kind": "mgcfd", "meshCells": 4096, "ranks": 4, "seed": 2}],
+    "units": [
+      {"name": "cu", "a": 0, "b": 1, "kind": "sliding", "points": 2000, "ranks": 2, "search": "tree"}]
+  }`
+
+// benchConcurrency is the in-flight request target of the concurrent
+// serving benchmarks (the acceptance load is 1k+ concurrent sweeps).
+const benchConcurrency = 1024
+
+// BenchmarkServeSweepConcurrent drives 1024 concurrent /v1/sweep
+// requests (16 points each) over a warm cache through the full handler:
+// strict decode, template validation, grid expansion, per-point cache
+// keying and NDJSON streaming. One op = one whole sweep; points/s is
+// reported alongside.
+func BenchmarkServeSweepConcurrent(b *testing.B) {
+	s := New(Options{Machine: cluster.SmallCluster(), Workers: 8, SweepWorkers: 64})
+	defer s.Close()
+	h := s.Handler()
+	body := benchSweepBody()
+	benchSweep(b, h, body) // warm all 16 points
+	gomaxprocs := runtime.GOMAXPROCS(0)
+	b.SetParallelism((benchConcurrency + gomaxprocs - 1) / gomaxprocs)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			benchSweep(b, h, body)
+		}
+	})
+	b.StopTimer()
+	b.ReportMetric(float64(b.N*benchSweepPoints)/b.Elapsed().Seconds(), "points/s")
+}
+
+// BenchmarkServeSimulatePointwiseConcurrent is the baseline the sweep
+// endpoint amortises: the same warm 16-point grid issued as individual
+// /v1/simulate requests at the same 1024-request concurrency. One op =
+// 16 sequential posts, matching one sweep's work.
+func BenchmarkServeSimulatePointwiseConcurrent(b *testing.B) {
+	s := New(Options{Machine: cluster.SmallCluster(), Workers: 8})
+	defer s.Close()
+	h := s.Handler()
+	bodies := make([]string, benchSweepPoints)
+	for i := range bodies {
+		bodies[i] = strings.Replace(benchSimTemplate, `"densitySteps": 2,`,
+			fmt.Sprintf(`"densitySteps": 2, "seedOffset": %d,`, i+1), 1)
+		benchPostTo(b, h, "/v1/simulate", bodies[i]) // warm
+	}
+	gomaxprocs := runtime.GOMAXPROCS(0)
+	b.SetParallelism((benchConcurrency + gomaxprocs - 1) / gomaxprocs)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			for _, body := range bodies {
+				benchPostTo(b, h, "/v1/simulate", body)
+			}
+		}
+	})
+	b.StopTimer()
+	b.ReportMetric(float64(b.N*benchSweepPoints)/b.Elapsed().Seconds(), "points/s")
+}
+
+func benchPostTo(b *testing.B, h http.Handler, path, body string) {
+	b.Helper()
+	r := httptest.NewRequest("POST", path, strings.NewReader(body))
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, r)
+	if w.Code != 200 {
+		b.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+}
+
+// benchSweep posts one sweep and checks the stream completed (trailer
+// line present with zero errors).
+func benchSweep(b *testing.B, h http.Handler, body string) {
+	b.Helper()
+	r := httptest.NewRequest("POST", "/v1/sweep", strings.NewReader(body))
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, r)
+	if w.Code != 200 {
+		b.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	out := w.Body.String()
+	if !strings.Contains(out, `"done":{"points":16,"ok":16,"errors":0`) {
+		b.Fatalf("sweep stream incomplete: %s", out)
 	}
 }

@@ -3,6 +3,7 @@ package serve
 import (
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"sync"
 
@@ -43,19 +44,28 @@ type reqKey struct {
 // is dependency-free by policy. All output is deterministically
 // ordered (sorted label sets) so scrapes are diffable.
 type Metrics struct {
-	mu        sync.Mutex
-	requests  map[reqKey]uint64
-	latencies map[string]*histogram
-	hits      uint64
-	misses    uint64
-	joins     uint64
-	canceled  uint64
-	rejected  uint64
+	mu          sync.Mutex
+	requests    map[reqKey]uint64
+	latencies   map[string]*histogram
+	hits        uint64
+	misses      uint64
+	joins       uint64
+	diskHits    uint64
+	canceled    uint64
+	rejected    uint64
+	sweepPoints uint64
+
+	// jobEWMA is the exponentially-weighted moving average of computed
+	// (cache-miss) job latency in seconds; the Retry-After hint scales
+	// with it so batch clients back off proportionally to how long the
+	// queue actually takes to drain.
+	jobEWMA float64
 
 	queueDepth    func() int
 	queueCapacity func() int
 	cacheLen      func() int
 	registry      *Registry
+	cache         *Cache
 }
 
 // NewMetrics returns a Metrics wired to the given gauges.
@@ -76,6 +86,20 @@ func (m *Metrics) AttachRegistry(r *Registry) {
 	m.mu.Unlock()
 }
 
+// AttachCache wires the cache byte/eviction gauges into the exposition.
+func (m *Metrics) AttachCache(c *Cache) {
+	m.mu.Lock()
+	m.cache = c
+	m.mu.Unlock()
+}
+
+// ewmaAlpha weights the newest computed-job latency observation.
+const ewmaAlpha = 0.2
+
+// retryAfterMaxSeconds caps the backoff hint so a momentary latency
+// spike cannot tell clients to go away for an hour.
+const retryAfterMaxSeconds = 300
+
 // Observe records one finished request.
 func (m *Metrics) Observe(endpoint string, code int, seconds float64, outcome CacheOutcome) {
 	m.mu.Lock()
@@ -87,13 +111,9 @@ func (m *Metrics) Observe(endpoint string, code int, seconds float64, outcome Ca
 		m.latencies[endpoint] = h
 	}
 	h.observe(seconds)
-	switch outcome {
-	case OutcomeHit:
-		m.hits++
-	case OutcomeMiss:
-		m.misses++
-	case OutcomeJoin:
-		m.joins++
+	m.countOutcomeLocked(outcome)
+	if outcome == OutcomeMiss && code == 200 {
+		m.observeJobTimeLocked(seconds)
 	}
 	switch code {
 	case 429:
@@ -101,6 +121,81 @@ func (m *Metrics) Observe(endpoint string, code int, seconds float64, outcome Ca
 	case 499, 504:
 		m.canceled++
 	}
+}
+
+// ObservePoint records one sweep point's cache disposition. Points are
+// not HTTP requests (the whole sweep is one), but their hit/join/miss
+// accounting must land in the same counters dedup tests and dashboards
+// read.
+func (m *Metrics) ObservePoint(outcome CacheOutcome) {
+	m.mu.Lock()
+	m.sweepPoints++
+	m.countOutcomeLocked(outcome)
+	m.mu.Unlock()
+}
+
+func (m *Metrics) countOutcomeLocked(outcome CacheOutcome) {
+	switch outcome {
+	case OutcomeHit:
+		m.hits++
+	case OutcomeMiss:
+		m.misses++
+	case OutcomeJoin:
+		m.joins++
+	case OutcomeDisk:
+		m.diskHits++
+	}
+}
+
+func (m *Metrics) observeJobTimeLocked(seconds float64) {
+	if seconds <= 0 {
+		return
+	}
+	if m.jobEWMA == 0 {
+		m.jobEWMA = seconds
+		return
+	}
+	m.jobEWMA = ewmaAlpha*seconds + (1-ewmaAlpha)*m.jobEWMA
+}
+
+// ObserveJobTime feeds one computed-job latency into the EWMA (exposed
+// for tests; the request path feeds it through Observe).
+func (m *Metrics) ObserveJobTime(seconds float64) {
+	m.mu.Lock()
+	m.observeJobTimeLocked(seconds)
+	m.mu.Unlock()
+}
+
+// JobEWMA returns the current computed-job latency estimate in seconds.
+func (m *Metrics) JobEWMA() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.jobEWMA
+}
+
+// RetryAfterSeconds derives the 429 backoff hint from the queue state:
+// a queue of depth jobs drains in about depth/workers EWMA periods, and
+// the retrying client's own job takes one more. With no latency
+// estimate yet the hint is the minimal 1s.
+func (m *Metrics) RetryAfterSeconds(depth, workers int) int {
+	m.mu.Lock()
+	e := m.jobEWMA
+	m.mu.Unlock()
+	if e <= 0 {
+		return 1
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	wait := e * (float64(depth)/float64(workers) + 1)
+	secs := int(math.Ceil(wait))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > retryAfterMaxSeconds {
+		secs = retryAfterMaxSeconds
+	}
+	return secs
 }
 
 // WritePrometheus renders the Prometheus text format.
@@ -144,6 +239,12 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	fmt.Fprintln(w, "# HELP cpxserve_cache_joins_total Requests coalesced onto an identical in-flight job.")
 	fmt.Fprintln(w, "# TYPE cpxserve_cache_joins_total counter")
 	fmt.Fprintf(w, "cpxserve_cache_joins_total %d\n", m.joins)
+	fmt.Fprintln(w, "# HELP cpxserve_cache_disk_hits_total Requests served from the persistent disk tier.")
+	fmt.Fprintln(w, "# TYPE cpxserve_cache_disk_hits_total counter")
+	fmt.Fprintf(w, "cpxserve_cache_disk_hits_total %d\n", m.diskHits)
+	fmt.Fprintln(w, "# HELP cpxserve_sweep_points_total Sweep grid points processed (any cache disposition).")
+	fmt.Fprintln(w, "# TYPE cpxserve_sweep_points_total counter")
+	fmt.Fprintf(w, "cpxserve_sweep_points_total %d\n", m.sweepPoints)
 	fmt.Fprintln(w, "# HELP cpxserve_rejected_total Requests rejected with 429 (queue full).")
 	fmt.Fprintln(w, "# TYPE cpxserve_rejected_total counter")
 	fmt.Fprintf(w, "cpxserve_rejected_total %d\n", m.rejected)
@@ -156,9 +257,35 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	fmt.Fprintln(w, "# HELP cpxserve_queue_capacity Queue bound.")
 	fmt.Fprintln(w, "# TYPE cpxserve_queue_capacity gauge")
 	fmt.Fprintf(w, "cpxserve_queue_capacity %d\n", m.queueCapacity())
-	fmt.Fprintln(w, "# HELP cpxserve_cache_entries Completed artifacts retained.")
+	fmt.Fprintln(w, "# HELP cpxserve_cache_entries Completed artifacts retained in memory.")
 	fmt.Fprintln(w, "# TYPE cpxserve_cache_entries gauge")
 	fmt.Fprintf(w, "cpxserve_cache_entries %d\n", m.cacheLen())
+	if m.cache != nil {
+		fmt.Fprintln(w, "# HELP cpxserve_cache_bytes Artifact bytes retained in the memory tier.")
+		fmt.Fprintln(w, "# TYPE cpxserve_cache_bytes gauge")
+		fmt.Fprintf(w, "cpxserve_cache_bytes %d\n", m.cache.Bytes())
+		fmt.Fprintln(w, "# HELP cpxserve_cache_max_bytes Memory-tier byte budget.")
+		fmt.Fprintln(w, "# TYPE cpxserve_cache_max_bytes gauge")
+		fmt.Fprintf(w, "cpxserve_cache_max_bytes %d\n", m.cache.MaxBytes())
+		fmt.Fprintln(w, "# HELP cpxserve_cache_evictions_total Artifacts evicted by the memory-tier LRU bound.")
+		fmt.Fprintln(w, "# TYPE cpxserve_cache_evictions_total counter")
+		fmt.Fprintf(w, "cpxserve_cache_evictions_total %d\n", m.cache.Evictions())
+		if d := m.cache.Disk(); d != nil {
+			puts, putErrs, hits, rejects := d.Stats()
+			fmt.Fprintln(w, "# HELP cpxserve_disk_artifacts_written_total Artifacts published to the disk tier.")
+			fmt.Fprintln(w, "# TYPE cpxserve_disk_artifacts_written_total counter")
+			fmt.Fprintf(w, "cpxserve_disk_artifacts_written_total %d\n", puts)
+			fmt.Fprintln(w, "# HELP cpxserve_disk_write_errors_total Failed disk-tier writes (best-effort; costs a recomputation).")
+			fmt.Fprintln(w, "# TYPE cpxserve_disk_write_errors_total counter")
+			fmt.Fprintf(w, "cpxserve_disk_write_errors_total %d\n", putErrs)
+			fmt.Fprintln(w, "# HELP cpxserve_disk_reads_verified_total Disk-tier reads that passed sha256 verification.")
+			fmt.Fprintln(w, "# TYPE cpxserve_disk_reads_verified_total counter")
+			fmt.Fprintf(w, "cpxserve_disk_reads_verified_total %d\n", hits)
+			fmt.Fprintln(w, "# HELP cpxserve_disk_rejects_total Corrupt disk artifacts rejected and deleted on read.")
+			fmt.Fprintln(w, "# TYPE cpxserve_disk_rejects_total counter")
+			fmt.Fprintf(w, "cpxserve_disk_rejects_total %d\n", rejects)
+		}
+	}
 	if m.registry != nil {
 		fmt.Fprintln(w, "# HELP cpxserve_jobs_active Jobs queued or running.")
 		fmt.Fprintln(w, "# TYPE cpxserve_jobs_active gauge")

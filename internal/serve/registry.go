@@ -43,8 +43,14 @@ type Job struct {
 	// skip idle wakeups.
 	rev atomic.Uint64
 
+	// pointsTotal/pointsDone track batch progress for /v1/sweep jobs:
+	// grid size and completed points. Zero for everything else.
+	pointsTotal atomic.Int64
+	pointsDone  atomic.Int64
+
 	mu       sync.Mutex
 	state    string
+	pins     int // holders protecting this entry from registry eviction
 	outcome  CacheOutcome
 	code     int
 	errMsg   string
@@ -68,7 +74,11 @@ type JobView struct {
 	// VirtualTime is the furthest virtual time any rank of the job's
 	// simulation has reached — monotone progress for /v1/simulate jobs,
 	// zero for the analytic endpoints.
-	VirtualTime float64      `json:"virtual_time_s"`
+	VirtualTime float64 `json:"virtual_time_s"`
+	// PointsTotal/PointsDone report batch progress for /v1/sweep jobs:
+	// grid size and completed points (omitted elsewhere).
+	PointsTotal int64        `json:"points_total,omitempty"`
+	PointsDone  int64        `json:"points_done,omitempty"`
 	Cache       CacheOutcome `json:"cache,omitempty"`
 	Code        int          `json:"status_code,omitempty"`
 	Error       string       `json:"error,omitempty"`
@@ -111,6 +121,37 @@ func (j *Job) ObserveProgress(t float64) {
 	}
 }
 
+// SetPoints records a sweep job's grid size.
+func (j *Job) SetPoints(total int) {
+	j.pointsTotal.Store(int64(total))
+	j.rev.Add(1)
+}
+
+// PointDone marks one sweep point complete.
+func (j *Job) PointDone() {
+	j.pointsDone.Add(1)
+	j.rev.Add(1)
+}
+
+// Pin protects the job's registry entry from eviction (even once
+// terminal) until a matching Unpin. A live sweep pins its child jobs so
+// SSE watchers of a finished point never see the entry vanish while the
+// sweep that spawned it is still streaming.
+func (j *Job) Pin() {
+	j.mu.Lock()
+	j.pins++
+	j.mu.Unlock()
+}
+
+// Unpin releases one Pin.
+func (j *Job) Unpin() {
+	j.mu.Lock()
+	if j.pins > 0 {
+		j.pins--
+	}
+	j.mu.Unlock()
+}
+
 // Finish records the job's terminal state, HTTP code, cache disposition
 // and error (if any), and closes Done.
 func (j *Job) Finish(state string, code int, outcome CacheOutcome, err error) {
@@ -145,6 +186,8 @@ func (j *Job) View() JobView {
 		Endpoint:    j.endpoint,
 		State:       j.state,
 		VirtualTime: math.Float64frombits(j.vtBits.Load()),
+		PointsTotal: j.pointsTotal.Load(),
+		PointsDone:  j.pointsDone.Load(),
 		Cache:       j.outcome,
 		Code:        j.code,
 		Error:       j.errMsg,
@@ -213,8 +256,9 @@ func (r *Registry) evictLocked() {
 		if excess > 0 {
 			j.mu.Lock()
 			terminal := j.state != JobQueued && j.state != JobRunning
+			evictable := terminal && j.pins == 0
 			j.mu.Unlock()
-			if terminal {
+			if evictable {
 				delete(r.jobs, j.id)
 				excess--
 				continue
@@ -324,6 +368,11 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 		s.jsonError(w, http.StatusInternalServerError, jb.ID(), fmt.Errorf("streaming unsupported"))
 		return
 	}
+	// Pin the entry for the watch duration: a terminal job being
+	// streamed must stay resolvable (Registry.Get) even if a flood of
+	// newer jobs would otherwise evict it mid-watch.
+	jb.Pin()
+	defer jb.Unpin()
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-store")
 	w.Header().Set("X-Job-ID", jb.ID())

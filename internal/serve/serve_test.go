@@ -404,7 +404,7 @@ func TestGracefulClose(t *testing.T) {
 // TestCacheDoErrorNotCached: a failing compute is retried by the next
 // identical request.
 func TestCacheDoErrorNotCached(t *testing.T) {
-	c := NewCache()
+	c := NewCache(CacheConfig{})
 	// Do holds the cache mutex across submission, so run the job on
 	// its own goroutine as the real pool does.
 	inline := func(fn func()) bool { go fn(); return true }

@@ -9,6 +9,7 @@ import (
 	"log/slog"
 	"math"
 	"net/http"
+	"strconv"
 	"time"
 
 	"cpx/internal/cluster"
@@ -50,6 +51,25 @@ type Options struct {
 	// ProgressInterval is the virtual-time sampling period used to feed
 	// job progress for /v1/simulate (default telemetry.DefaultInterval).
 	ProgressInterval float64
+	// CacheMaxBytes bounds the in-memory artifact tier (default 256 MiB);
+	// least-recently-used artifacts are evicted beyond it.
+	CacheMaxBytes int64
+	// CacheDir enables the persistent disk tier under the memory cache:
+	// content-addressed artifact files that survive restarts. Empty
+	// disables the tier.
+	CacheDir string
+	// SweepWorkers bounds concurrently outstanding sweep points per
+	// /v1/sweep request (default 2×Workers: local points are still
+	// throttled by the worker pool, and forwarded points only wait on
+	// the network).
+	SweepWorkers int
+	// Shards lists worker-process base URLs. When non-empty this server
+	// runs as a front-end: /v1/simulate jobs (and sweep points) are
+	// routed to shards by consistent hashing of the canonical cache key,
+	// with degraded-mode local execution when shards are down.
+	Shards []string
+	// ShardProbeInterval paces the shard health prober (default 2s).
+	ShardProbeInterval time.Duration
 }
 
 func (o *Options) fill() {
@@ -71,6 +91,9 @@ func (o *Options) fill() {
 	if o.Logger == nil {
 		o.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
+	if o.SweepWorkers <= 0 {
+		o.SweepWorkers = 2 * o.Workers
+	}
 }
 
 // Server is the cpxserve request layer: a mux over the model and
@@ -83,6 +106,7 @@ type Server struct {
 	cache    *Cache
 	metrics  *Metrics
 	registry *Registry
+	shards   *ShardSet // nil unless running as a sharded front-end
 	log      *slog.Logger
 	mux      *http.ServeMux
 }
@@ -91,10 +115,34 @@ type Server struct {
 // routes.
 func New(opts Options) *Server {
 	opts.fill()
-	s := &Server{opts: opts, cache: NewCache(), registry: NewRegistry(), log: opts.Logger}
+	var disk *DiskCache
+	if opts.CacheDir != "" {
+		var err error
+		disk, err = NewDiskCache(opts.CacheDir)
+		if err != nil {
+			// The disk tier is an optimisation; a server that cannot open
+			// it still serves correctly from memory.
+			opts.Logger.Error("disk cache disabled", "dir", opts.CacheDir, "error", err)
+		}
+	}
+	s := &Server{
+		opts:     opts,
+		cache:    NewCache(CacheConfig{MaxBytes: opts.CacheMaxBytes, Disk: disk}),
+		registry: NewRegistry(),
+		log:      opts.Logger,
+	}
+	if len(opts.Shards) > 0 {
+		ss, err := NewShardSet(opts.Shards, opts.ShardProbeInterval, opts.Logger)
+		if err != nil {
+			opts.Logger.Error("shard routing disabled", "error", err)
+		} else {
+			s.shards = ss
+		}
+	}
 	s.pool = NewPool(opts.Workers, opts.QueueLen)
 	s.metrics = NewMetrics(s.pool.Depth, s.pool.Capacity, s.cache.Len)
 	s.metrics.AttachRegistry(s.registry)
+	s.metrics.AttachCache(s.cache)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -105,6 +153,7 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("POST /v1/allocate", s.post("/v1/allocate", s.runAllocate))
 	s.mux.HandleFunc("POST /v1/speedup", s.post("/v1/speedup", s.runSpeedup))
 	s.mux.HandleFunc("POST /v1/simulate", s.post("/v1/simulate", s.runSimulate))
+	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	return s
 }
 
@@ -117,7 +166,18 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // Close drains the worker pool: queued and running jobs finish, new
 // submissions are rejected. Call after http.Server.Shutdown has
 // stopped accepting requests.
-func (s *Server) Close() { s.pool.Close() }
+func (s *Server) Close() {
+	if s.shards != nil {
+		s.shards.Close()
+	}
+	s.pool.Close()
+}
+
+// Cache exposes the result cache (for tests and the smoke runner).
+func (s *Server) Cache() *Cache { return s.cache }
+
+// Shards exposes the shard router (nil unless sharded).
+func (s *Server) Shards() *ShardSet { return s.shards }
 
 // Metrics exposes the counters (for tests and the smoke runner).
 func (s *Server) Metrics() *Metrics { return s.metrics }
@@ -235,6 +295,40 @@ func (s *Server) post(endpoint string, ep endpointFunc) http.HandlerFunc {
 		}
 		defer cancel()
 
+		// Sharded front-end: route simulation jobs to the shard owning
+		// this cache key, unless our own memory tier is already warm.
+		// Forward failures degrade to the local path below.
+		if s.shards != nil && endpoint == "/v1/simulate" {
+			if body, ok := s.cache.Peek(key); ok {
+				outcome = OutcomeHit
+				w.Header().Set("Content-Type", "application/json")
+				w.Header().Set("X-Cache", string(outcome))
+				w.Header().Set("X-Job-ID", jb.ID())
+				w.Write(body)
+				return
+			}
+			if sh := s.shards.Route(key); sh != nil {
+				jb.Start()
+				status, body, oc, ferr := s.shards.Forward(ctx, sh, endpoint, canonical, r.URL.Query().Get("timeout"))
+				if ferr == nil {
+					outcome = oc
+					code = status
+					if status != http.StatusOK {
+						state = JobFailed
+						reqErr = fmt.Errorf("shard %s answered %d", sh.URL, status)
+					}
+					w.Header().Set("Content-Type", "application/json")
+					w.Header().Set("X-Cache", string(oc))
+					w.Header().Set("X-Shard", sh.URL)
+					w.Header().Set("X-Job-ID", jb.ID())
+					w.WriteHeader(status)
+					w.Write(body)
+					return
+				}
+				log.Warn("shard forward failed; running locally", "shard", sh.URL, "error", ferr)
+			}
+		}
+
 		artifact, oc, err := s.cache.Do(ctx, key, s.pool.TrySubmit, func(jobCtx context.Context) ([]byte, error) {
 			jb.Start()
 			log.Debug("job running")
@@ -253,7 +347,11 @@ func (s *Server) post(endpoint string, ep endpointFunc) http.HandlerFunc {
 			w.Header().Set("X-Job-ID", jb.ID())
 			w.Write(artifact)
 		case errors.Is(err, ErrQueueFull):
-			w.Header().Set("Retry-After", "1")
+			// The hint scales with how long the queue actually takes to
+			// drain (EWMA of computed-job latency × queued jobs per
+			// worker), so batch clients back off proportionally.
+			ra := s.metrics.RetryAfterSeconds(s.pool.Depth(), s.opts.Workers)
+			w.Header().Set("Retry-After", strconv.Itoa(ra))
 			fail(http.StatusTooManyRequests, JobRejected, errors.New("job queue full; retry later"))
 		case errors.Is(err, context.DeadlineExceeded):
 			fail(http.StatusGatewayTimeout, JobCanceled, errors.New("request deadline exceeded; the job was cancelled"))
@@ -376,7 +474,16 @@ func (s *Server) runSimulate(r *http.Request, jb *Job) (any, func(context.Contex
 	if err := decodeStrict(r.Body, &req); err != nil {
 		return nil, nil, err
 	}
-	return &req, func(jobCtx context.Context) (any, error) {
+	return &req, s.simulateRunner(&req, jb), nil
+}
+
+// simulateRunner returns the computation for one simulation request,
+// shared by POST /v1/simulate and every sweep point: build, validate,
+// run under the job context, and feed live virtual-time progress into
+// the registry entry.
+func (s *Server) simulateRunner(reqp *SimulateRequest, jb *Job) func(context.Context) (any, error) {
+	req := *reqp
+	return func(jobCtx context.Context) (any, error) {
 		spec := req.SimSpec // copy: ApplySeed must not mutate the cached spec
 		spec.Instances = append([]InstanceSpec(nil), spec.Instances...)
 		spec.ApplySeed(req.SeedOffset)
@@ -436,5 +543,5 @@ func (s *Server) runSimulate(r *http.Request, jb *Job) (any, func(context.Contex
 			})
 		}
 		return resp, nil
-	}, nil
+	}
 }
